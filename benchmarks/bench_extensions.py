@@ -1,0 +1,46 @@
+"""Benchmarks X6/X7 — the paper's deferred questions, answered.
+
+X6: depth vs accuracy (Section VI-D leaves deeper-GCN accuracy to future
+work; the harness makes depth cheap so we measure it). X7: Section III-B's
+claim that subgraph budgets need not grow with the training graph.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import extensions
+from repro.experiments.common import format_table
+
+
+def test_extension_depth_accuracy(benchmark, record_table):
+    results = benchmark.pedantic(
+        lambda: extensions.run_depth_accuracy(seed=0), rounds=1, iterations=1
+    )
+    record_table(
+        "extension_depth_accuracy",
+        format_table(results["rows"], title="X6: depth vs accuracy (Reddit profile)"),
+    )
+    rows = {r["layers"]: r for r in results["rows"]}
+    # Cost grows ~linearly with depth (the graph-sampling property that
+    # makes this experiment affordable at all).
+    assert rows[4]["gemm_flops_per_iter"] < 3.0 * rows[1]["gemm_flops_per_iter"]
+    # Every depth trains to a usable model.
+    for r in results["rows"]:
+        assert r["val_f1_micro"] > 0.5
+
+
+def test_extension_budget_scaling(benchmark, record_table):
+    results = benchmark.pedantic(
+        lambda: extensions.run_budget_scaling(seed=0), rounds=1, iterations=1
+    )
+    record_table(
+        "extension_budget_scaling",
+        format_table(
+            results["rows"], title="X7: fixed sampler budget, growing graph"
+        ),
+    )
+    rows = results["rows"]
+    f1s = [r["val_f1_micro"] for r in rows]
+    # Section III-B's claim: accuracy holds while the budget fraction
+    # shrinks 4x.
+    assert min(f1s) >= max(f1s) - 0.06
+    assert rows[-1]["budget_fraction"] < 0.3 * rows[0]["budget_fraction"]

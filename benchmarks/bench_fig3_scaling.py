@@ -1,0 +1,39 @@
+"""Benchmark F3 — regenerate Figure 3 (training-phase scaling, breakdown).
+
+One metered training run per (dataset, hidden dim in {512, 1024}) is
+re-priced at 1-40 simulated cores. Paper shapes: overall iteration speedup
+~20x at 40 cores, feature propagation ~25x, weight application ~16x
+(MKL-bound), sampling a small fraction of the breakdown throughout.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig3
+
+
+def test_fig3_scaling_hidden_512(benchmark, record_table):
+    results = benchmark.pedantic(
+        lambda: fig3.run(hidden_dims=(512,), iterations=4, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("fig3_scaling_h512", fig3.format_results(results))
+    for row in results["rows"]:
+        if row["cores"] == 40:
+            assert 10.0 <= row["iteration_speedup"] <= 30.0
+            assert 13.0 <= row["weight_speedup"] <= 20.0
+            assert 20.0 <= row["featprop_speedup"] <= 30.0
+
+
+def test_fig3_scaling_hidden_1024(benchmark, record_table):
+    results = benchmark.pedantic(
+        lambda: fig3.run(hidden_dims=(1024,), iterations=3, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("fig3_scaling_h1024", fig3.format_results(results))
+    # Larger hidden dim: weight application dominates even more, and the
+    # speedup curves keep the same shape.
+    for row in results["rows"]:
+        if row["cores"] == 40:
+            assert row["frac_weight"] >= 0.5

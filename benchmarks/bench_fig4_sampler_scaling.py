@@ -1,0 +1,31 @@
+"""Benchmark F4 — regenerate Figure 4 (frontier-sampler scaling).
+
+Panel A: sampling speedup vs p_inter with AVX (paper: near-linear to 20
+cores, NUMA knee to ~13-15x at 40). Panel B: AVX gain per p_inter (paper:
+~4x average, data-dependent through lane under-utilization on low-degree
+vertices).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig4
+
+
+def test_fig4_sampler_scaling(benchmark, record_table):
+    results = benchmark.pedantic(
+        lambda: fig4.run(num_subgraphs=16, seed=0), rounds=1, iterations=1
+    )
+    record_table("fig4_sampler_scaling", fig4.format_results(results))
+
+    by_dataset: dict[str, dict[int, float]] = {}
+    for row in results["panel_a"]:
+        by_dataset.setdefault(row["dataset"], {})[row["p_inter"]] = row[
+            "sampling_speedup"
+        ]
+    for name, curve in by_dataset.items():
+        assert curve[40] > curve[20] > curve[5], name
+        assert 10.0 <= curve[40] <= 22.0, name  # paper ~13-15x
+        # NUMA knee: marginal efficiency drops crossing the socket.
+        assert (curve[40] - curve[20]) / 20 < (curve[20] - curve[5]) / 15, name
+    for row in results["panel_b"]:
+        assert 3.0 <= row["avx_speedup"] <= 8.5

@@ -1,0 +1,99 @@
+"""Benchmark K1 — raw kernel throughput (real wall-clock microbenches).
+
+Unlike the experiment benches (single-round paper regenerations), these
+are proper pytest-benchmark microbenchmarks of the hot kernels: sparse
+aggregation, induced-subgraph extraction, Dashboard sampling, one full
+GCN training iteration, and the GraphSAGE support sampler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.datasets import make_dataset
+from repro.nn.loss import make_loss
+from repro.nn.network import GCN
+from repro.propagation.feature_prop import PartitionedPropagator
+from repro.propagation.spmm import MeanAggregator, spmm_sum_numpy, spmm_sum_scipy
+from repro.parallel.machine import xeon_40core
+from repro.sampling.dashboard import DashboardFrontierSampler
+from repro.sampling.frontier import FrontierSampler
+from repro.baselines.graphsage import sample_supports
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_dataset("reddit", scale=0.01, seed=0)
+
+
+@pytest.fixture(scope="module")
+def features(dataset):
+    rng = np.random.default_rng(0)
+    return rng.standard_normal((dataset.graph.num_vertices, 256))
+
+
+class TestSpmmKernels:
+    def test_spmm_scipy(self, benchmark, dataset, features):
+        benchmark(spmm_sum_scipy, dataset.graph, features)
+
+    def test_spmm_numpy(self, benchmark, dataset, features):
+        benchmark(spmm_sum_numpy, dataset.graph, features)
+
+    def test_mean_aggregator_forward(self, benchmark, dataset, features):
+        agg = MeanAggregator(dataset.graph)
+        benchmark(agg.forward, features)
+
+    def test_partitioned_propagator_forward(self, benchmark, dataset, features):
+        prop = PartitionedPropagator(dataset.graph, xeon_40core(), cores=40)
+        benchmark(prop.forward, features)
+
+
+class TestGraphKernels:
+    def test_induced_subgraph(self, benchmark, dataset):
+        rng = np.random.default_rng(1)
+        keep = rng.choice(dataset.graph.num_vertices, size=400, replace=False)
+        benchmark(dataset.graph.induced_subgraph, keep)
+
+
+class TestSamplers:
+    def test_frontier_reference(self, benchmark, dataset):
+        s = FrontierSampler(dataset.graph, frontier_size=100, budget=500)
+        rng = np.random.default_rng(2)
+        benchmark(s.sample, rng)
+
+    def test_dashboard_sampler(self, benchmark, dataset):
+        s = DashboardFrontierSampler(
+            dataset.graph, frontier_size=100, budget=500, eta=2.0
+        )
+        rng = np.random.default_rng(2)
+        benchmark(s.sample, rng)
+
+    def test_graphsage_support_sampling(self, benchmark, dataset):
+        rng = np.random.default_rng(3)
+        batch = rng.choice(dataset.graph.num_vertices, size=128, replace=False)
+        benchmark(sample_supports, dataset.graph, batch, (10, 10), rng)
+
+
+class TestTrainingIteration:
+    def test_gs_gcn_forward_backward(self, benchmark, dataset):
+        """One complete-GCN forward+backward on a sampled subgraph."""
+        rng = np.random.default_rng(4)
+        sampler = DashboardFrontierSampler(
+            dataset.graph, frontier_size=100, budget=500
+        )
+        sub = sampler.sample(rng)
+        agg = MeanAggregator(sub.graph)
+        feats = dataset.features[sub.vertex_map]
+        labels = dataset.labels[sub.vertex_map]
+        model = GCN(dataset.attribute_dim, [128, 128], dataset.num_classes, seed=0)
+        loss = make_loss(dataset.task)
+
+        def step():
+            model.zero_grad()
+            logits = model.forward(feats, agg, train=True)
+            value = loss.forward(logits, labels)
+            model.backward(loss.backward(logits, labels))
+            return value
+
+        benchmark(step)

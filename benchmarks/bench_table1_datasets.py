@@ -1,0 +1,20 @@
+"""Benchmark T1 — regenerate Table I (dataset statistics).
+
+Also serves as a real benchmark of dataset generation throughput.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+
+
+def test_table1_dataset_statistics(benchmark, record_table):
+    results = benchmark.pedantic(
+        lambda: table1.run(seed=0), rounds=1, iterations=1
+    )
+    record_table("table1_datasets", table1.format_results(results))
+    rows = results["rows"]
+    assert len(rows) == 4
+    # Every generated dataset respects its profile's attribute/class spec.
+    for row in rows:
+        assert row["generated_vertices"] > 0

@@ -1,0 +1,31 @@
+"""Benchmark T2 — regenerate Table II (deeper GCNs vs parallelized
+GraphSAGE on the Reddit profile).
+
+Paper shape: the speedup of the proposed method over TF GraphSAGE grows
+with both depth (neighbor explosion: orders of magnitude by 3 layers) and
+core count (the baseline's communication-bound scaling saturates early).
+Absolute values depend on the calibrated TF-overhead constant; see
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table2
+
+
+def test_table2_deeper_gcn_speedups(benchmark, record_table):
+    results = benchmark.pedantic(
+        lambda: table2.run(hidden=128, iterations=3, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("table2_deeper_gcn", table2.format_results(results))
+    rows = {r["layers"]: r for r in results["rows"]}
+    # Monotone in depth at every core count.
+    for cores in ("1-core", "5-core", "10-core", "20-core", "40-core"):
+        assert rows[1][cores] < rows[2][cores] < rows[3][cores]
+    # Monotone in cores at every depth.
+    for r in results["rows"]:
+        assert r["1-core"] < r["40-core"]
+    # Orders-of-magnitude blow-up by 3 layers.
+    assert rows[3]["40-core"] > 20 * rows[1]["1-core"]

@@ -1,0 +1,33 @@
+"""Shared benchmark fixtures.
+
+Experiment benchmarks run their workload once (``benchmark.pedantic`` with
+a single round — these regenerate paper tables, they are not microbenches)
+and write the paper-style table to ``benchmarks/results/`` as well as
+stdout.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir):
+    """Write a rendered experiment table to results/<name>.txt and stdout."""
+
+    def _record(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record

@@ -1,0 +1,11 @@
+"""Shim for legacy editable installs (`pip install -e .` without `wheel`).
+
+The environment has setuptools but no `wheel` package, so PEP-660 editable
+installs fail with `invalid command 'bdist_wheel'`; this file lets pip fall
+back to the classic `setup.py develop` path. All real metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""Analytic models: Eq. 1 complexity and speedup helpers."""
+
+from .complexity import (
+    eq1_forward_ops,
+    gs_gcn_batch_ops,
+    gs_gcn_epoch_ops,
+    layer_sampling_batch_ops,
+    layer_sampling_epoch_ops,
+    layer_sampling_support_sizes,
+    work_ratio_vs_depth,
+)
+from .roofline import (
+    KernelProfile,
+    aggregation_kernel_profile,
+    gemm_kernel_profile,
+    roofline_point,
+    roofline_report,
+)
+from .speedup import amdahl_speedup, efficiency, gemm_simulated_time, speedup_curve
+
+__all__ = [
+    "eq1_forward_ops",
+    "gs_gcn_batch_ops",
+    "gs_gcn_epoch_ops",
+    "layer_sampling_support_sizes",
+    "layer_sampling_batch_ops",
+    "layer_sampling_epoch_ops",
+    "work_ratio_vs_depth",
+    "KernelProfile",
+    "roofline_point",
+    "roofline_report",
+    "gemm_kernel_profile",
+    "aggregation_kernel_profile",
+    "amdahl_speedup",
+    "gemm_simulated_time",
+    "speedup_curve",
+    "efficiency",
+]

@@ -1,0 +1,158 @@
+"""Analytic complexity models (Section III-B of the paper).
+
+Equation 1 gives the forward-propagation operation count of an L-layer GCN
+batch; specializations cover the paper's three regimes:
+
+* graph-sampling GCN (this paper): ``O(L * |V| * f * (f + d_GS))`` per
+  epoch — linear in depth and graph size;
+* layer sampling, small batch (GraphSAGE-style, Case 1):
+  ``O(d_LS^L * |V| * f * (f + d_LS))`` — "neighbor explosion";
+* layer sampling, large batch (Case 2): ``O(L * |V| * f * (f + d_LS))``
+  — linear again but at the cost of convergence/accuracy.
+
+These functions are exercised directly by the Table II experiment and the
+unit tests that verify the crossover claims of Section III-B.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "eq1_forward_ops",
+    "gs_gcn_batch_ops",
+    "gs_gcn_epoch_ops",
+    "layer_sampling_support_sizes",
+    "layer_sampling_batch_ops",
+    "layer_sampling_epoch_ops",
+    "work_ratio_vs_depth",
+]
+
+
+def eq1_forward_ops(
+    edge_counts: list[int] | np.ndarray,
+    node_counts: list[int] | np.ndarray,
+    feature_dims: list[int] | np.ndarray,
+) -> float:
+    """Equation 1 verbatim.
+
+    ``sum_l ( |E_l| * f_l + |V_{l+1}| * f_l * f_{l+1} )`` where
+    ``edge_counts[l]`` is the inter-layer edge count between layers l and
+    l+1, ``node_counts[l]`` the node count of layer l (length L+1), and
+    ``feature_dims[l]`` the feature size of layer l (length L+1).
+    """
+    edge_counts = np.asarray(edge_counts, dtype=np.float64)
+    node_counts = np.asarray(node_counts, dtype=np.float64)
+    feature_dims = np.asarray(feature_dims, dtype=np.float64)
+    layers = edge_counts.shape[0]
+    if node_counts.shape[0] != layers + 1 or feature_dims.shape[0] != layers + 1:
+        raise ValueError("need L edge counts and L+1 node counts / feature dims")
+    agg = (edge_counts * feature_dims[:-1]).sum()
+    weights = (node_counts[1:] * feature_dims[:-1] * feature_dims[1:]).sum()
+    return float(agg + weights)
+
+
+def gs_gcn_batch_ops(
+    *, num_layers: int, subgraph_size: int, subgraph_degree: float, f: int
+) -> float:
+    """Graph-sampling GCN batch: ``L * n_sub * f * (f + d_GS)``."""
+    if num_layers < 1:
+        raise ValueError("num_layers must be >= 1")
+    return num_layers * subgraph_size * f * (f + subgraph_degree)
+
+
+def gs_gcn_epoch_ops(
+    *, num_layers: int, num_vertices: int, subgraph_degree: float, f: int
+) -> float:
+    """Graph-sampling GCN epoch: ``L * |V| * f * (f + d_GS)``."""
+    return gs_gcn_batch_ops(
+        num_layers=num_layers,
+        subgraph_size=num_vertices,
+        subgraph_degree=subgraph_degree,
+        f=f,
+    )
+
+
+def layer_sampling_support_sizes(
+    batch_size: int, fanouts: list[int] | tuple[int, ...], num_vertices: int | None = None
+) -> list[int]:
+    """Per-layer node counts of an edge-based layer sampler.
+
+    ``fanouts[l]`` neighbors are drawn for each node when stepping from
+    layer ``L-l`` down to ``L-l-1``; sizes are capped at ``num_vertices``
+    when given (a batch cannot involve more nodes than the graph has).
+    Returned deepest-first: ``[|V^(0)|, ..., |V^(L)| = batch_size]``.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    sizes = [batch_size]
+    for fanout in fanouts:
+        nxt = sizes[-1] * fanout
+        if num_vertices is not None:
+            nxt = min(nxt, num_vertices)
+        sizes.append(nxt)
+    return sizes[::-1]
+
+
+def layer_sampling_batch_ops(
+    *,
+    batch_size: int,
+    fanouts: list[int] | tuple[int, ...],
+    f: int,
+    num_vertices: int | None = None,
+) -> float:
+    """Eq. 1 applied to a layer-sampled batch (exact, not asymptotic)."""
+    sizes = layer_sampling_support_sizes(batch_size, fanouts, num_vertices)
+    layers = len(fanouts)
+    # Edges between layer l and l+1: every node of layer l+1 pulls its
+    # fanout (deepest fanout is fanouts[-1] when stepping to layer 0).
+    rev_fanouts = list(fanouts)[::-1]
+    edge_counts = [sizes[l + 1] * rev_fanouts[l] for l in range(layers)]
+    dims = [f] * (layers + 1)
+    return eq1_forward_ops(edge_counts, sizes, dims)
+
+
+def layer_sampling_epoch_ops(
+    *,
+    num_train: int,
+    batch_size: int,
+    fanouts: list[int] | tuple[int, ...],
+    f: int,
+    num_vertices: int | None = None,
+) -> float:
+    """Layer-sampling epoch: batch ops times ``num_train / batch_size``."""
+    batches = -(-num_train // batch_size)
+    return batches * layer_sampling_batch_ops(
+        batch_size=batch_size, fanouts=fanouts, f=f, num_vertices=num_vertices
+    )
+
+
+def work_ratio_vs_depth(
+    *,
+    num_layers: int,
+    num_train: int,
+    batch_size: int,
+    fanout: int,
+    f: int,
+    subgraph_degree: float,
+    num_vertices: int | None = None,
+) -> float:
+    """Epoch work of layer sampling relative to graph sampling.
+
+    The quantity behind Table II's depth scaling: grows roughly like
+    ``fanout^L / L`` until support sizes saturate at the graph size.
+    """
+    ls = layer_sampling_epoch_ops(
+        num_train=num_train,
+        batch_size=batch_size,
+        fanouts=[fanout] * num_layers,
+        f=f,
+        num_vertices=num_vertices,
+    )
+    gs = gs_gcn_epoch_ops(
+        num_layers=num_layers,
+        num_vertices=num_train,
+        subgraph_degree=subgraph_degree,
+        f=f,
+    )
+    return ls / gs

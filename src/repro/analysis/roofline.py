@@ -1,0 +1,114 @@
+"""Roofline analysis of the training kernels.
+
+Classifies each kernel (feature aggregation, weight application, sampler
+probing/updates) by arithmetic intensity — flops per byte moved — against
+a machine's compute and bandwidth rooflines. The analysis explains *why*
+the paper's scaling figures look the way they do: weight application is
+compute-bound (scales with cores until the MKL Amdahl term bites), feature
+aggregation is bandwidth-bound (capped near the DRAM saturation point),
+and the sampler is latency/occupancy-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..parallel.machine import MachineSpec
+
+__all__ = [
+    "KernelProfile",
+    "roofline_point",
+    "gemm_kernel_profile",
+    "aggregation_kernel_profile",
+    "roofline_report",
+]
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """One kernel's flop and byte totals."""
+
+    name: str
+    flops: float
+    bytes_moved: float
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes_moved <= 0:
+            raise ValueError("flops must be >= 0 and bytes > 0")
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        return self.flops / self.bytes_moved
+
+
+def roofline_point(
+    profile: KernelProfile, machine: MachineSpec, *, cores: int
+) -> dict[str, float]:
+    """Attainable performance and binding resource under the roofline.
+
+    Peak compute scales with cores (1/cost_flop per core per unit time in
+    model units); peak bandwidth scales only to the DRAM saturation point.
+    Returns attainable flop rate, the two ceilings, and the classification.
+    """
+    if cores <= 0:
+        raise ValueError("cores must be positive")
+    peak_compute = cores / machine.cost_flop
+    eff_bw_cores = min(float(cores), machine.dram_saturation_cores)
+    peak_bandwidth_flops = (
+        profile.arithmetic_intensity * eff_bw_cores / machine.dram_cost_per_byte
+    )
+    attainable = min(peak_compute, peak_bandwidth_flops)
+    return {
+        "arithmetic_intensity": profile.arithmetic_intensity,
+        "peak_compute": peak_compute,
+        "bandwidth_ceiling": peak_bandwidth_flops,
+        "attainable": attainable,
+        "compute_bound": float(peak_compute <= peak_bandwidth_flops),
+        # Intensity at which the two ceilings cross for this core count.
+        "ridge_intensity": peak_compute
+        * machine.dram_cost_per_byte
+        / eff_bw_cores,
+    }
+
+
+def gemm_kernel_profile(n: int, f_in: int, f_out: int) -> KernelProfile:
+    """One weight application: 2*n*f_in*f_out flops over the operand and
+    result traffic (weights assumed cache-resident across rows)."""
+    flops = 2.0 * n * f_in * f_out
+    bytes_moved = 8.0 * (n * f_in + n * f_out + f_in * f_out)
+    return KernelProfile("weight_application", flops, bytes_moved)
+
+
+def aggregation_kernel_profile(n: int, d: float, f: int) -> KernelProfile:
+    """One feature aggregation: n*d*f adds over gathered features plus the
+    index stream (Eq. 3's traffic at gamma=1, Q=1)."""
+    flops = n * d * f
+    bytes_moved = 8.0 * n * f + 2.0 * n * d
+    return KernelProfile("feature_aggregation", flops, bytes_moved)
+
+
+def roofline_report(
+    *,
+    n: int,
+    d: float,
+    f: int,
+    machine: MachineSpec,
+    cores: int,
+) -> list[dict[str, object]]:
+    """Roofline rows for the two training kernels at one configuration."""
+    rows: list[dict[str, object]] = []
+    for profile in (
+        gemm_kernel_profile(n, f, f),
+        aggregation_kernel_profile(n, d, f),
+    ):
+        point = roofline_point(profile, machine, cores=cores)
+        rows.append(
+            {
+                "kernel": profile.name,
+                "intensity_flops_per_byte": point["arithmetic_intensity"],
+                "ridge_intensity": point["ridge_intensity"],
+                "bound": "compute" if point["compute_bound"] else "bandwidth",
+                "attainable": point["attainable"],
+            }
+        )
+    return rows

@@ -1,0 +1,48 @@
+"""Speedup-curve helpers shared by the scaling experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parallel.machine import MachineSpec
+
+__all__ = [
+    "amdahl_speedup",
+    "gemm_simulated_time",
+    "speedup_curve",
+    "efficiency",
+]
+
+
+def amdahl_speedup(cores: int, serial_fraction: float) -> float:
+    """Classic Amdahl bound ``1 / (s + (1 - s)/p)``."""
+    if cores <= 0:
+        raise ValueError("cores must be positive")
+    if not (0.0 <= serial_fraction <= 1.0):
+        raise ValueError("serial_fraction must lie in [0, 1]")
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / cores)
+
+
+def gemm_simulated_time(
+    flops: float, machine: MachineSpec, *, cores: int
+) -> float:
+    """Dense weight-application time under the MKL-like Amdahl model."""
+    if flops < 0:
+        raise ValueError("flops must be non-negative")
+    if cores <= 0:
+        raise ValueError("cores must be positive")
+    s = machine.gemm_serial_fraction
+    return flops * machine.cost_flop * (s + (1.0 - s) / cores)
+
+
+def speedup_curve(times: dict[int, float]) -> dict[int, float]:
+    """Speedups relative to the 1-core entry of a {cores: time} mapping."""
+    if 1 not in times:
+        raise ValueError("need a 1-core baseline entry")
+    base = times[1]
+    return {c: (base / t if t > 0 else float("inf")) for c, t in times.items()}
+
+
+def efficiency(times: dict[int, float]) -> dict[int, float]:
+    """Parallel efficiency (speedup / cores) of a {cores: time} mapping."""
+    return {c: s / c for c, s in speedup_curve(times).items()}

@@ -1,0 +1,36 @@
+"""Layer-sampling baselines: GraphSAGE, FastGCN, Batched GCN."""
+
+from .batched_gcn import BatchedGCNConfig, BatchedGCNTrainer
+from .blocks import SampledBlock, positions_in
+from .fastgcn import (
+    FastGCNConfig,
+    FastGCNModel,
+    FastGCNTrainer,
+    importance_distribution,
+)
+from .graphsage import (
+    GraphSAGEModel,
+    GraphSAGETrainer,
+    SageConfig,
+    full_block,
+    sample_supports,
+)
+from .sage_layers import BipartiteGCNLayer, ConvOnlyLayer
+
+__all__ = [
+    "SampledBlock",
+    "positions_in",
+    "BipartiteGCNLayer",
+    "ConvOnlyLayer",
+    "SageConfig",
+    "GraphSAGEModel",
+    "GraphSAGETrainer",
+    "sample_supports",
+    "full_block",
+    "FastGCNConfig",
+    "FastGCNModel",
+    "FastGCNTrainer",
+    "importance_distribution",
+    "BatchedGCNConfig",
+    "BatchedGCNTrainer",
+]

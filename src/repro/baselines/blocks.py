@@ -1,0 +1,122 @@
+"""Bipartite computation blocks for layer-sampling baselines.
+
+Layer-sampling GCNs (GraphSAGE, FastGCN) do not propagate over a whole
+(sub)graph; each layer is a bipartite computation from a *source support*
+(the layer-(l-1) nodes that were sampled) to a *destination support* (the
+layer-l nodes). A :class:`SampledBlock` captures one such bipartite step:
+
+* ``num_src`` source rows, ``num_dst`` destination rows;
+* a flat neighbor index array (positions into the source support) with a
+  CSR-style ``indptr`` so destinations can have ragged neighbor lists
+  (GraphSAGE fan-out is fixed; FastGCN intersections are ragged and can be
+  empty — the sparsity problem Section II-B points out);
+* optional per-edge weights (FastGCN importance rescaling);
+* ``self_pos`` — each destination's own position in the source support
+  (GraphSAGE always re-includes the destination nodes in the next
+  support), or -1 when absent.
+
+The block provides the mean-aggregation forward and its exact adjoint so
+baseline layers backpropagate through sampled neighborhoods correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SampledBlock", "positions_in"]
+
+
+def positions_in(universe: np.ndarray, items: np.ndarray) -> np.ndarray:
+    """Positions of ``items`` within sorted unique array ``universe``.
+
+    Raises if any item is missing — supports are constructed to be closed.
+    """
+    pos = np.searchsorted(universe, items)
+    if np.any(pos >= universe.shape[0]) or np.any(universe[np.minimum(pos, universe.shape[0]-1)] != items):
+        raise ValueError("items not contained in universe")
+    return pos
+
+
+@dataclass(frozen=True)
+class SampledBlock:
+    """One bipartite aggregation step of a layer-sampled GCN."""
+
+    num_src: int
+    num_dst: int
+    indptr: np.ndarray  # int64[num_dst + 1]
+    neighbor_pos: np.ndarray  # int64[num_edges], positions into src rows
+    self_pos: np.ndarray  # int64[num_dst], position of dst node in src rows
+    edge_weight: np.ndarray | None = None  # float64[num_edges] (FastGCN)
+    # True: divide by neighbor count (GraphSAGE mean). False: plain
+    # (weighted) sum — FastGCN folds all normalization into edge_weight.
+    mean_normalize: bool = True
+
+    def __post_init__(self) -> None:
+        if self.indptr.shape[0] != self.num_dst + 1:
+            raise ValueError("indptr must have num_dst + 1 entries")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.neighbor_pos.shape[0]:
+            raise ValueError("indptr endpoints inconsistent with neighbor_pos")
+        if self.self_pos.shape[0] != self.num_dst:
+            raise ValueError("self_pos must have num_dst entries")
+        if self.neighbor_pos.size and (
+            self.neighbor_pos.min() < 0 or self.neighbor_pos.max() >= self.num_src
+        ):
+            raise ValueError("neighbor positions out of source range")
+        if self.edge_weight is not None and self.edge_weight.shape != self.neighbor_pos.shape:
+            raise ValueError("edge_weight must align with neighbor_pos")
+
+    @property
+    def num_edges(self) -> int:
+        return self.neighbor_pos.shape[0]
+
+    @property
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def _normalizers(self) -> np.ndarray:
+        if not self.mean_normalize:
+            return np.ones(self.num_dst, dtype=np.float64)
+        deg = self.degrees.astype(np.float64)
+        return np.divide(1.0, deg, out=np.zeros_like(deg), where=deg > 0)
+
+    def aggregate(self, h_src: np.ndarray) -> np.ndarray:
+        """Weighted-mean neighbor aggregation: (num_dst, f) output."""
+        if h_src.shape[0] != self.num_src:
+            raise ValueError("h_src rows must equal num_src")
+        gathered = h_src[self.neighbor_pos]
+        if self.edge_weight is not None:
+            gathered = gathered * self.edge_weight[:, None]
+        out = np.zeros((self.num_dst, h_src.shape[1]), dtype=h_src.dtype)
+        nonempty = np.flatnonzero(self.degrees > 0)
+        if nonempty.size:
+            out[nonempty] = np.add.reduceat(gathered, self.indptr[nonempty], axis=0)
+        out *= self._normalizers()[:, None]
+        return out
+
+    def aggregate_backward(self, grad_dst: np.ndarray) -> np.ndarray:
+        """Adjoint of :meth:`aggregate`: scatter grads back to src rows."""
+        if grad_dst.shape[0] != self.num_dst:
+            raise ValueError("grad rows must equal num_dst")
+        scaled = grad_dst * self._normalizers()[:, None]
+        per_edge = np.repeat(scaled, self.degrees, axis=0)
+        if self.edge_weight is not None:
+            per_edge = per_edge * self.edge_weight[:, None]
+        out = np.zeros((self.num_src, grad_dst.shape[1]), dtype=grad_dst.dtype)
+        np.add.at(out, self.neighbor_pos, per_edge)
+        return out
+
+    def gather_self(self, h_src: np.ndarray) -> np.ndarray:
+        """Destination nodes' own previous-layer features (zeros if absent)."""
+        out = np.zeros((self.num_dst, h_src.shape[1]), dtype=h_src.dtype)
+        present = self.self_pos >= 0
+        out[present] = h_src[self.self_pos[present]]
+        return out
+
+    def gather_self_backward(self, grad_dst: np.ndarray) -> np.ndarray:
+        """Adjoint of :meth:`gather_self` (scatter-add to src rows)."""
+        out = np.zeros((self.num_src, grad_dst.shape[1]), dtype=grad_dst.dtype)
+        present = self.self_pos >= 0
+        np.add.at(out, self.self_pos[present], grad_dst[present])
+        return out

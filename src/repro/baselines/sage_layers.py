@@ -1,0 +1,158 @@
+"""GCN layers operating on bipartite sampled blocks.
+
+Mirrors :class:`repro.nn.layers.GCNLayer` (same weights, same concat/ReLU
+structure) but consumes a :class:`SampledBlock`, so source and destination
+supports may differ — the layer-sampling computation pattern whose
+"neighbor explosion" the paper analyzes. ``BipartiteGCNLayer`` keeps the
+self path (GraphSAGE); ``ConvOnlyLayer`` drops it (FastGCN's plain
+convolution over an importance-weighted block).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.activations import relu, relu_grad
+from ..nn.init import xavier_uniform
+from .blocks import SampledBlock
+
+__all__ = ["BipartiteGCNLayer", "ConvOnlyLayer"]
+
+
+class BipartiteGCNLayer:
+    """W_self/W_neigh layer from source support to destination support."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        *,
+        activation: str = "relu",
+        concat: bool = True,
+        rng: np.random.Generator,
+    ) -> None:
+        if activation not in ("relu", "identity"):
+            raise ValueError(f"unsupported activation {activation!r}")
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.activation = activation
+        self.concat = concat
+        self.params: dict[str, np.ndarray] = {
+            "W_self": xavier_uniform(in_dim, out_dim, rng=rng),
+            "W_neigh": xavier_uniform(in_dim, out_dim, rng=rng),
+            "b_self": np.zeros(out_dim),
+            "b_neigh": np.zeros(out_dim),
+        }
+        self.grads: dict[str, np.ndarray] = {
+            k: np.zeros_like(v) for k, v in self.params.items()
+        }
+        self._cache: dict[str, object] | None = None
+
+    @property
+    def output_dim(self) -> int:
+        return 2 * self.out_dim if self.concat else self.out_dim
+
+    def forward(
+        self, h_src: np.ndarray, block: SampledBlock, *, train: bool = True
+    ) -> np.ndarray:
+        """Propagate source-support features to the destination support."""
+        h_agg = block.aggregate(h_src)
+        h_self = block.gather_self(h_src)
+        z_neigh = h_agg @ self.params["W_neigh"] + self.params["b_neigh"]
+        z_self = h_self @ self.params["W_self"] + self.params["b_self"]
+        z = (
+            np.concatenate([z_neigh, z_self], axis=1)
+            if self.concat
+            else z_neigh + z_self
+        )
+        out = relu(z) if self.activation == "relu" else z
+        self._cache = (
+            {"h_agg": h_agg, "h_self": h_self, "z": z, "block": block}
+            if train
+            else None
+        )
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate weight grads; return the source-support gradient."""
+        if self._cache is None:
+            raise RuntimeError("backward without cached forward(train=True)")
+        h_agg: np.ndarray = self._cache["h_agg"]  # type: ignore[assignment]
+        h_self: np.ndarray = self._cache["h_self"]  # type: ignore[assignment]
+        z: np.ndarray = self._cache["z"]  # type: ignore[assignment]
+        block: SampledBlock = self._cache["block"]  # type: ignore[assignment]
+
+        dz = relu_grad(z, grad_out) if self.activation == "relu" else grad_out
+        if self.concat:
+            dz_neigh, dz_self = dz[:, : self.out_dim], dz[:, self.out_dim :]
+        else:
+            dz_neigh = dz_self = dz
+        self.grads["W_neigh"] += h_agg.T @ dz_neigh
+        self.grads["W_self"] += h_self.T @ dz_self
+        self.grads["b_neigh"] += dz_neigh.sum(axis=0)
+        self.grads["b_self"] += dz_self.sum(axis=0)
+        d_src = block.aggregate_backward(dz_neigh @ self.params["W_neigh"].T)
+        d_src += block.gather_self_backward(dz_self @ self.params["W_self"].T)
+        return d_src
+
+    def zero_grad(self) -> None:
+        """Reset accumulated parameter gradients to zero."""
+        for g in self.grads.values():
+            g[...] = 0.0
+
+
+class ConvOnlyLayer:
+    """Single-weight graph convolution (FastGCN style, no self path)."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        *,
+        activation: str = "relu",
+        rng: np.random.Generator,
+    ) -> None:
+        if activation not in ("relu", "identity"):
+            raise ValueError(f"unsupported activation {activation!r}")
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.activation = activation
+        self.params: dict[str, np.ndarray] = {
+            "W": xavier_uniform(in_dim, out_dim, rng=rng),
+            "b": np.zeros(out_dim),
+        }
+        self.grads: dict[str, np.ndarray] = {
+            k: np.zeros_like(v) for k, v in self.params.items()
+        }
+        self._cache: dict[str, object] | None = None
+
+    @property
+    def output_dim(self) -> int:
+        return self.out_dim
+
+    def forward(
+        self, h_src: np.ndarray, block: SampledBlock, *, train: bool = True
+    ) -> np.ndarray:
+        """Importance-weighted convolution to the destination support."""
+        h_agg = block.aggregate(h_src)
+        z = h_agg @ self.params["W"] + self.params["b"]
+        out = relu(z) if self.activation == "relu" else z
+        self._cache = {"h_agg": h_agg, "z": z, "block": block} if train else None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate weight grads; return the source-support gradient."""
+        if self._cache is None:
+            raise RuntimeError("backward without cached forward(train=True)")
+        h_agg: np.ndarray = self._cache["h_agg"]  # type: ignore[assignment]
+        z: np.ndarray = self._cache["z"]  # type: ignore[assignment]
+        block: SampledBlock = self._cache["block"]  # type: ignore[assignment]
+        dz = relu_grad(z, grad_out) if self.activation == "relu" else grad_out
+        self.grads["W"] += h_agg.T @ dz
+        self.grads["b"] += dz.sum(axis=0)
+        return block.aggregate_backward(dz @ self.params["W"].T)
+
+    def zero_grad(self) -> None:
+        """Reset accumulated parameter gradients to zero."""
+        for g in self.grads.values():
+            g[...] = 0.0

@@ -1,0 +1,216 @@
+"""Command-line experiment runner.
+
+Regenerate any paper artifact without writing code::
+
+    python -m repro.cli table1
+    python -m repro.cli fig2 --epoch-scale 0.5
+    python -m repro.cli fig3 --hidden 512 --datasets ppi reddit
+    python -m repro.cli fig4
+    python -m repro.cli table2
+    python -m repro.cli ablations
+    python -m repro.cli all --out results/
+
+Each subcommand prints the paper-style table; ``--out DIR`` additionally
+writes it to ``DIR/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from .experiments import ablations, extensions, fig2, fig3, fig4, table1, table2
+from .experiments.common import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _emit(name: str, text: str, out: pathlib.Path | None) -> None:
+    print(text)
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{name}.txt").write_text(text + "\n")
+        print(f"[written to {out / (name + '.txt')}]")
+
+
+def _run_table1(args: argparse.Namespace, out: pathlib.Path | None) -> None:
+    _emit("table1", table1.format_results(table1.run(seed=args.seed)), out)
+
+
+def _run_fig2(args: argparse.Namespace, out: pathlib.Path | None) -> None:
+    results = fig2.run(
+        datasets=args.datasets,
+        epoch_scale=args.epoch_scale,
+        hidden=args.hidden or 128,
+        seed=args.seed,
+    )
+    _emit("fig2", fig2.format_results(results), out)
+
+
+def _run_fig3(args: argparse.Namespace, out: pathlib.Path | None) -> None:
+    from .experiments.plotting import ascii_speedup_plot
+
+    hidden = (args.hidden,) if args.hidden else (512, 1024)
+    results = fig3.run(
+        datasets=args.datasets, hidden_dims=hidden, seed=args.seed
+    )
+    curves: dict[str, dict[int, float]] = {}
+    for row in results["rows"]:
+        key = f"{row['dataset']}/h{row['hidden']}"
+        curves.setdefault(key, {})[row["cores"]] = row["iteration_speedup"]
+    text = fig3.format_results(results) + "\n\n" + ascii_speedup_plot(
+        curves, title="Figure 3A: iteration speedup vs cores"
+    )
+    _emit("fig3", text, out)
+
+
+def _run_fig4(args: argparse.Namespace, out: pathlib.Path | None) -> None:
+    from .experiments.plotting import ascii_speedup_plot
+
+    results = fig4.run(datasets=args.datasets, seed=args.seed)
+    curves: dict[str, dict[int, float]] = {}
+    for row in results["panel_a"]:
+        curves.setdefault(row["dataset"], {})[row["p_inter"]] = row[
+            "sampling_speedup"
+        ]
+    text = fig4.format_results(results) + "\n\n" + ascii_speedup_plot(
+        curves, title="Figure 4A: sampling speedup vs p_inter"
+    )
+    _emit("fig4", text, out)
+
+
+def _run_table2(args: argparse.Namespace, out: pathlib.Path | None) -> None:
+    results = table2.run(hidden=args.hidden or 128, seed=args.seed)
+    _emit("table2", table2.format_results(results), out)
+
+
+def _run_ablations(args: argparse.Namespace, out: pathlib.Path | None) -> None:
+    pieces = [
+        ("X1: feature-only partitioning", ablations.run_partitioning(seed=args.seed)),
+        (
+            "X1b: measured gamma_P of real partitioners",
+            ablations.run_partitioner_gamma(seed=args.seed),
+        ),
+        ("X2: Dashboard eta sweep", ablations.run_dashboard_eta(seed=args.seed)),
+        ("X8: alias table vs Dashboard", ablations.run_alias_contrast()),
+        ("X3: degree cap (Amazon)", ablations.run_degree_cap(seed=args.seed)),
+        (
+            "X4: sampler comparison (PPI)",
+            ablations.run_sampler_comparison(seed=args.seed),
+        ),
+    ]
+    text = "\n\n".join(
+        format_table(res["rows"], title=title) for title, res in pieces
+    )
+    _emit("ablations", text, out)
+
+
+def _run_extensions(args: argparse.Namespace, out: pathlib.Path | None) -> None:
+    pieces = [
+        ("X6: depth vs accuracy", extensions.run_depth_accuracy(seed=args.seed)),
+        (
+            "X7: fixed budget, growing graph",
+            extensions.run_budget_scaling(seed=args.seed),
+        ),
+    ]
+    text = "\n\n".join(
+        format_table(res["rows"], title=title) for title, res in pieces
+    )
+    _emit("extensions", text, out)
+
+
+def _run_report(args: argparse.Namespace, out: pathlib.Path | None) -> None:
+    """Assemble all tables in benchmarks/results/ into one document."""
+    results_dir = (
+        pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+    )
+    if not results_dir.is_dir():
+        print(
+            f"no results found at {results_dir}; run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+        return
+    order = [
+        "table1_datasets",
+        "fig2_time_accuracy",
+        "fig3_scaling_h512",
+        "fig3_scaling_h1024",
+        "fig4_sampler_scaling",
+        "table2_deeper_gcn",
+        "ablation_partitioning",
+        "ablation_partitioner_gamma",
+        "ablation_dashboard_eta",
+        "ablation_alias_vs_dashboard",
+        "ablation_degree_cap",
+        "ablation_samplers",
+        "extension_depth_accuracy",
+        "extension_budget_scaling",
+    ]
+    files = {p.stem: p for p in sorted(results_dir.glob("*.txt"))}
+    sections = [
+        files.pop(name).read_text().rstrip() for name in order if name in files
+    ]
+    sections += [p.read_text().rstrip() for p in files.values()]
+    _emit("report", "\n\n".join(sections), out)
+
+
+_COMMANDS = {
+    "table1": _run_table1,
+    "extensions": _run_extensions,
+    "fig2": _run_fig2,
+    "fig3": _run_fig3,
+    "fig4": _run_fig4,
+    "table2": _run_table2,
+    "ablations": _run_ablations,
+    "report": _run_report,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the experiment runner."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_COMMANDS) + ["all"],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--datasets",
+        nargs="+",
+        default=None,
+        help="dataset profiles (default: all four)",
+    )
+    parser.add_argument(
+        "--hidden", type=int, default=None, help="hidden dimension override"
+    )
+    parser.add_argument(
+        "--epoch-scale",
+        type=float,
+        default=1.0,
+        help="scale factor on fig2's per-dataset epoch recipes",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="directory to write result tables into",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: run the selected experiment(s); returns exit code."""
+    args = build_parser().parse_args(argv)
+    names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        _COMMANDS[name](args, args.out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,179 @@
+"""Experiment T2 — Table II: speedup vs parallelized GraphSAGE (Reddit).
+
+The paper compares its C++ implementation against the TensorFlow
+GraphSAGE for 1/2/3-layer models on 1-40 cores, reporting speedups from
+2x (1 layer, 1 core) to 1306x (3 layers, 40 cores). Two effects drive the
+table:
+
+1. **Work**: neighbor explosion. GraphSAGE's per-epoch operation count is
+   measured here from *actual sampled supports* of our GraphSAGE
+   implementation (not an asymptotic formula), and the proposed method's
+   cost comes from re-priced metered training runs.
+2. **Scaling**: the paper's numbers imply TF GraphSAGE peaks at ~5.4x
+   parallel speedup on 40 cores (communication-bound: d_LS more traffic
+   per unit compute). We model that as an Amdahl serial fraction
+   (``sage_serial_fraction``, default calibrated to 0.18), and multiply by
+   a framework-overhead constant (``tf_overhead``) representing the
+   Python/TF interpreter gap — both documented calibrations, recorded in
+   EXPERIMENTS.md.
+
+Expected shape: speedups grow monotonically both with depth (orders of
+magnitude by 3 layers) and with core count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.speedup import amdahl_speedup
+from ..baselines.graphsage import GraphSAGETrainer, SageConfig
+from ..graphs.datasets import make_dataset
+from ..parallel.machine import MachineSpec, xeon_40core
+from ..train.config import TrainConfig
+from ..train.trainer import GraphSamplingTrainer
+from .common import EXPERIMENT_SCALES, format_table
+from .repricing import iteration_time, phase_times_per_iteration
+
+__all__ = ["run", "format_results", "sage_epoch_cost"]
+
+DEFAULT_CORES = (1, 5, 10, 20, 40)
+
+
+def sage_epoch_cost(
+    trainer: GraphSAGETrainer,
+    *,
+    iterations: int,
+    machine: MachineSpec,
+    rng: np.random.Generator,
+) -> float:
+    """Measured per-epoch serial cost (cost units) of GraphSAGE.
+
+    Runs ``iterations`` real training iterations, reads the sampled
+    support sizes, and prices aggregation flops, weight flops (forward +
+    backward) and feature-gather traffic on the machine's cost parameters.
+    """
+    cfg = trainer.config
+    n_train = trainer.train_graph.num_vertices
+    start = len(trainer.support_stats.nodes_per_layer)
+    for _ in range(iterations):
+        batch = rng.choice(n_train, size=min(cfg.batch_size, n_train), replace=False)
+        trainer.train_iteration(batch)
+    nodes = trainer.support_stats.nodes_per_layer[start:]
+    edges = trainer.support_stats.edges_per_layer[start:]
+
+    # Per-layer feature dims of the model.
+    in_dims = []
+    dim = trainer.model.in_dim
+    for layer in trainer.model.layers:
+        in_dims.append(dim)
+        dim = layer.output_dim
+    head_in = dim
+
+    per_iter_costs = []
+    for node_row, edge_row in zip(nodes, edges):
+        flops = 0.0
+        comm_bytes = 0.0
+        for l, (e_l, f_in) in enumerate(zip(edge_row, in_dims)):
+            dst_nodes = node_row[l + 1]
+            f_out = trainer.model.layers[l].out_dim
+            flops += e_l * f_in  # aggregation
+            flops += 2.0 * 2.0 * dst_nodes * f_in * f_out  # W_self + W_neigh
+            comm_bytes += e_l * f_in * 8.0  # random feature gathers
+        flops += 2.0 * node_row[-1] * head_in * trainer.model.num_classes
+        flops *= 3.0  # forward + dW + dX
+        per_iter_costs.append(
+            flops * machine.cost_flop + comm_bytes * machine.dram_cost_per_byte
+        )
+    batches_per_epoch = -(-n_train // cfg.batch_size)
+    return float(np.mean(per_iter_costs)) * batches_per_epoch
+
+
+def run(
+    *,
+    scale: float | None = None,
+    hidden: int = 128,
+    layers_list: tuple[int, ...] = (1, 2, 3),
+    cores_list: tuple[int, ...] = DEFAULT_CORES,
+    iterations: int = 4,
+    tf_overhead: float = 3.0,
+    sage_serial_fraction: float = 0.18,
+    seed: int = 0,
+) -> dict[str, object]:
+    """Run the Table II comparison on the Reddit profile."""
+    scale = scale if scale is not None else EXPERIMENT_SCALES["reddit"]
+    machine = xeon_40core()
+    ds = make_dataset("reddit", scale=scale, seed=seed)
+    rng = np.random.default_rng(seed)
+
+    rows = []
+    detail: dict[int, dict[str, float]] = {}
+    for layers in layers_list:
+        n_train = ds.train_idx.shape[0]
+        budget = max(min(n_train // 4, 1200), 64)
+        cfg = TrainConfig(
+            hidden_dims=(hidden,) * layers,
+            frontier_size=max(budget // 6, 16),
+            budget=budget,
+            epochs=1,
+            eval_every=10**9,
+            seed=seed,
+        )
+        gs_trainer = GraphSamplingTrainer(ds, cfg)
+        gs_result = gs_trainer.train()
+        while gs_result.iterations < iterations:
+            more = gs_trainer.train(epochs=1)
+            gs_result.iteration_metrics.extend(more.iteration_metrics)
+            gs_result.iterations += more.iterations
+        metrics = gs_result.iteration_metrics[:iterations]
+        gs_batches = gs_trainer.batches_per_epoch
+
+        # The paper trains GraphSAGE with batch 512 on Reddit's 153k
+        # training vertices (~0.33%); keep that ratio so the per-epoch
+        # batch count — and with it the neighbor-explosion blow-up —
+        # reproduces at reduced graph scale.
+        sage_batch = max(8, int(round(n_train * 512 / 153_000)))
+        sage_trainer = GraphSAGETrainer(
+            ds,
+            SageConfig(
+                hidden_dims=(hidden,) * layers,
+                fanouts=(25,) + (10,) * (layers - 1),
+                batch_size=sage_batch,
+                epochs=1,
+                seed=seed,
+            ),
+        )
+        sage_serial = tf_overhead * sage_epoch_cost(
+            sage_trainer, iterations=iterations, machine=machine, rng=rng
+        )
+
+        row: dict[str, object] = {"layers": layers}
+        for cores in cores_list:
+            t_gs = (
+                iteration_time(
+                    phase_times_per_iteration(metrics, machine, cores=cores)
+                )
+                * gs_batches
+            )
+            t_sage = sage_serial / amdahl_speedup(cores, sage_serial_fraction)
+            row[f"{cores}-core"] = t_sage / t_gs
+        rows.append(row)
+        detail[layers] = {
+            "gs_epoch_1core": iteration_time(
+                phase_times_per_iteration(metrics, machine, cores=1)
+            )
+            * gs_batches,
+            "sage_epoch_serial": sage_serial,
+        }
+    return {"rows": rows, "detail": detail}
+
+
+def format_results(results: dict[str, object]) -> str:
+    """Render the paper-style table for printed output."""
+    return format_table(
+        results["rows"],  # type: ignore[arg-type]
+        title="Table II: speedup of proposed vs parallelized GraphSAGE (Reddit profile)",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_results(run()))

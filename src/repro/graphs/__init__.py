@@ -1,0 +1,93 @@
+"""Graph substrate: CSR topology, synthetic datasets, and statistics."""
+
+from .csr import CSRGraph, edges_to_csr, induced_subgraph
+from .datasets import PROFILES, Dataset, DatasetProfile, make_dataset, table1_rows
+from .features import (
+    gaussian_class_features,
+    multi_label_from_blocks,
+    single_label_from_blocks,
+    smooth_features,
+    svd_compressed_features,
+)
+from .io import (
+    load_dataset,
+    load_graph,
+    read_edge_list,
+    save_dataset,
+    save_graph,
+    write_edge_list,
+)
+from .partition import bfs_partition, greedy_edge_partition, random_partition
+from .spectral import (
+    estrada_index_proxy,
+    second_eigenvalue_normalized,
+    spectral_radius_normalized,
+    spectral_summary,
+)
+from .validate import ValidationError, validate_dataset, validate_graph
+from .generators import (
+    DCSBMParams,
+    chung_lu_graph,
+    dcsbm_graph,
+    ensure_min_degree,
+    grid_graph,
+    power_law_weights,
+    ring_of_cliques,
+)
+from .stats import (
+    average_local_clustering,
+    connected_components,
+    connectivity_summary,
+    degree_assortativity,
+    degree_histogram,
+    degree_ks_distance,
+    global_clustering_coefficient,
+    largest_component_fraction,
+)
+
+__all__ = [
+    "CSRGraph",
+    "edges_to_csr",
+    "induced_subgraph",
+    "Dataset",
+    "DatasetProfile",
+    "PROFILES",
+    "make_dataset",
+    "table1_rows",
+    "gaussian_class_features",
+    "svd_compressed_features",
+    "smooth_features",
+    "single_label_from_blocks",
+    "multi_label_from_blocks",
+    "DCSBMParams",
+    "chung_lu_graph",
+    "dcsbm_graph",
+    "ensure_min_degree",
+    "grid_graph",
+    "power_law_weights",
+    "ring_of_cliques",
+    "save_graph",
+    "load_graph",
+    "save_dataset",
+    "load_dataset",
+    "write_edge_list",
+    "read_edge_list",
+    "random_partition",
+    "bfs_partition",
+    "greedy_edge_partition",
+    "spectral_radius_normalized",
+    "second_eigenvalue_normalized",
+    "estrada_index_proxy",
+    "spectral_summary",
+    "validate_graph",
+    "validate_dataset",
+    "ValidationError",
+    "degree_histogram",
+    "degree_ks_distance",
+    "connected_components",
+    "largest_component_fraction",
+    "global_clustering_coefficient",
+    "average_local_clustering",
+    "degree_assortativity",
+    "connectivity_summary",
+]

@@ -1,0 +1,97 @@
+"""Structural validation for graphs and datasets.
+
+Loading paths (:mod:`repro.graphs.io`) and user-constructed objects can
+violate invariants the rest of the library assumes (sorted neighbor
+lists, symmetry, min-degree for samplers, finite features, consistent
+splits). These validators check everything at once and report *all*
+violations rather than failing at first use deep inside a kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRGraph
+from .datasets import Dataset
+
+__all__ = ["validate_graph", "validate_dataset", "ValidationError"]
+
+
+class ValidationError(ValueError):
+    """Raised when validation finds problems; carries the full list."""
+
+    def __init__(self, problems: list[str]) -> None:
+        self.problems = problems
+        super().__init__(
+            "validation failed with "
+            f"{len(problems)} problem(s):\n- " + "\n- ".join(problems)
+        )
+
+
+def validate_graph(
+    graph: CSRGraph,
+    *,
+    require_symmetric: bool = True,
+    require_min_degree: int | None = None,
+    forbid_self_loops: bool = False,
+    raise_on_error: bool = True,
+) -> list[str]:
+    """Check CSR invariants; returns the list of problems found.
+
+    Constructor-level invariants (indptr monotone, indices in range) are
+    enforced by :class:`CSRGraph` itself; this adds the semantic ones the
+    samplers and propagators rely on.
+    """
+    problems: list[str] = []
+    # Sorted, duplicate-free neighbor lists.
+    for v in range(graph.num_vertices):
+        nbrs = graph.neighbors(v)
+        if nbrs.size > 1 and np.any(np.diff(nbrs) <= 0):
+            problems.append(f"vertex {v}: neighbor list not sorted-unique")
+            break  # one example suffices; lists share the construction path
+    if require_symmetric and not graph.is_symmetric():
+        problems.append("adjacency is not symmetric (undirected graphs required)")
+    if require_min_degree is not None:
+        bad = int(np.sum(graph.degrees < require_min_degree))
+        if bad:
+            problems.append(
+                f"{bad} vertices below min degree {require_min_degree} "
+                "(frontier sampling requires min degree >= 1)"
+            )
+    if forbid_self_loops:
+        src = graph.edge_sources()
+        loops = int(np.sum(src == graph.indices))
+        if loops:
+            problems.append(f"{loops} self-loop edge entries present")
+    if problems and raise_on_error:
+        raise ValidationError(problems)
+    return problems
+
+
+def validate_dataset(dataset: Dataset, *, raise_on_error: bool = True) -> list[str]:
+    """Check a dataset's cross-field consistency beyond its constructor."""
+    problems = validate_graph(
+        dataset.graph, require_symmetric=True, raise_on_error=False
+    )
+    if not np.all(np.isfinite(dataset.features)):
+        problems.append("features contain non-finite values")
+    if dataset.task == "single":
+        labels = dataset.labels
+        if labels.size and (labels.min() < 0 or labels.max() >= dataset.num_classes):
+            problems.append("single-label ids out of [0, num_classes) range")
+    else:
+        uniq = np.unique(dataset.labels)
+        if not set(uniq.tolist()) <= {0.0, 1.0}:
+            problems.append("multi-label matrix contains values other than 0/1")
+    for name, idx in (
+        ("train", dataset.train_idx),
+        ("val", dataset.val_idx),
+        ("test", dataset.test_idx),
+    ):
+        if idx.size == 0:
+            problems.append(f"{name} split is empty")
+        elif np.unique(idx).size != idx.size:
+            problems.append(f"{name} split contains duplicate indices")
+    if problems and raise_on_error:
+        raise ValidationError(problems)
+    return problems

@@ -1,0 +1,48 @@
+"""From-scratch neural-network kernels: GCN layers, losses, Adam, metrics."""
+
+from .activations import leaky_relu, log_softmax, relu, sigmoid, softmax
+from .gradcheck import check_gradients, max_relative_error, numerical_gradient
+from .init import xavier_normal, xavier_uniform
+from .layers import DenseLayer, Dropout, GCNLayer
+from .loss import SigmoidCrossEntropy, SoftmaxCrossEntropy, make_loss
+from .metrics import accuracy, confusion_counts, f1_macro, f1_micro
+from .network import GCN
+from .optim import SGD, Adam
+from .schedule import (
+    ConstantLR,
+    CosineAnnealingLR,
+    StepDecayLR,
+    WarmupLR,
+    apply_schedule,
+)
+
+__all__ = [
+    "relu",
+    "leaky_relu",
+    "sigmoid",
+    "softmax",
+    "log_softmax",
+    "xavier_uniform",
+    "xavier_normal",
+    "GCNLayer",
+    "DenseLayer",
+    "Dropout",
+    "SoftmaxCrossEntropy",
+    "SigmoidCrossEntropy",
+    "make_loss",
+    "Adam",
+    "SGD",
+    "ConstantLR",
+    "StepDecayLR",
+    "CosineAnnealingLR",
+    "WarmupLR",
+    "apply_schedule",
+    "GCN",
+    "f1_micro",
+    "f1_macro",
+    "accuracy",
+    "confusion_counts",
+    "numerical_gradient",
+    "check_gradients",
+    "max_relative_error",
+]

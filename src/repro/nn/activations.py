@@ -1,0 +1,50 @@
+"""Numerically-stable activations with explicit forward/backward pairs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["relu", "relu_grad", "sigmoid", "softmax", "log_softmax", "leaky_relu", "leaky_relu_grad"]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit: elementwise ``max(x, 0)``."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+    """Gradient through ReLU given pre-activation ``x``."""
+    return np.where(x > 0.0, grad_out, 0.0)
+
+
+def leaky_relu(x: np.ndarray, alpha: float = 0.01) -> np.ndarray:
+    """Leaky ReLU: ``x`` for positives, ``alpha * x`` otherwise."""
+    return np.where(x > 0.0, x, alpha * x)
+
+
+def leaky_relu_grad(x: np.ndarray, grad_out: np.ndarray, alpha: float = 0.01) -> np.ndarray:
+    """Gradient through leaky ReLU given pre-activation ``x``."""
+    return np.where(x > 0.0, grad_out, alpha * grad_out)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Stable logistic: never exponentiates a positive argument."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable softmax (max-shifted)."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable ``log(softmax(x))`` (max-shifted)."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))

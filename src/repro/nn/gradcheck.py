@@ -1,0 +1,89 @@
+"""Numerical gradient checking (central differences).
+
+Used throughout the test suite to validate every analytic backward pass:
+layers, losses, and whole networks. ``check_gradients`` perturbs a sample
+of parameter entries (checking all entries of a 512-wide layer would be
+slow and adds nothing) and compares against the analytic gradient with a
+relative-error criterion robust to near-zero gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["numerical_gradient", "check_gradients", "max_relative_error"]
+
+
+def numerical_gradient(
+    f: Callable[[], float],
+    param: np.ndarray,
+    *,
+    eps: float = 1e-6,
+    sample: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Central-difference gradient of ``f`` w.r.t. entries of ``param``.
+
+    Returns ``(flat_indices, grads)`` for the checked entries. When
+    ``sample`` is given, only that many randomly-chosen entries are
+    perturbed.
+    """
+    flat = param.reshape(-1)
+    if sample is not None and sample < flat.size:
+        if rng is None:
+            rng = np.random.default_rng(0)
+        idx = rng.choice(flat.size, size=sample, replace=False)
+    else:
+        idx = np.arange(flat.size)
+    grads = np.empty(idx.shape[0], dtype=np.float64)
+    for j, i in enumerate(idx):
+        orig = flat[i]
+        flat[i] = orig + eps
+        f_plus = f()
+        flat[i] = orig - eps
+        f_minus = f()
+        flat[i] = orig
+        grads[j] = (f_plus - f_minus) / (2.0 * eps)
+    return idx, grads
+
+
+def max_relative_error(
+    analytic: np.ndarray, numeric: np.ndarray, *, floor: float = 1e-8
+) -> float:
+    """``max |a - n| / max(|a|, |n|, floor)`` over entries."""
+    analytic = np.asarray(analytic, dtype=np.float64)
+    numeric = np.asarray(numeric, dtype=np.float64)
+    scale = np.maximum(np.maximum(np.abs(analytic), np.abs(numeric)), floor)
+    return float((np.abs(analytic - numeric) / scale).max(initial=0.0))
+
+
+def check_gradients(
+    loss_fn: Callable[[], float],
+    params: dict[str, np.ndarray],
+    analytic_grads: dict[str, np.ndarray],
+    *,
+    eps: float = 1e-6,
+    sample: int = 20,
+    tol: float = 1e-5,
+    rng: np.random.Generator | None = None,
+) -> dict[str, float]:
+    """Check every parameter tensor; returns per-name max relative error.
+
+    Raises ``AssertionError`` naming the first offending tensor when any
+    error exceeds ``tol``.
+    """
+    errors: dict[str, float] = {}
+    for name, p in params.items():
+        idx, numeric = numerical_gradient(
+            loss_fn, p, eps=eps, sample=sample, rng=rng
+        )
+        analytic = analytic_grads[name].reshape(-1)[idx]
+        err = max_relative_error(analytic, numeric)
+        errors[name] = err
+        if err > tol:
+            raise AssertionError(
+                f"gradient check failed for {name!r}: max rel error {err:.3e} > {tol:.1e}"
+            )
+    return errors

@@ -1,0 +1,32 @@
+"""Weight initializers (Glorot/Xavier family, as used by GCN/GraphSAGE)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "zeros"]
+
+
+def xavier_uniform(
+    fan_in: int, fan_out: int, *, rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot uniform: U(-a, a) with ``a = sqrt(6 / (fan_in + fan_out))``."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan_in and fan_out must be positive")
+    a = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-a, a, size=(fan_in, fan_out))
+
+
+def xavier_normal(
+    fan_in: int, fan_out: int, *, rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot normal: N(0, 2 / (fan_in + fan_out))."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan_in and fan_out must be positive")
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.standard_normal((fan_in, fan_out)) * std
+
+
+def zeros(*shape: int) -> np.ndarray:
+    """Zero-initialized float64 array of the given shape."""
+    return np.zeros(shape, dtype=np.float64)

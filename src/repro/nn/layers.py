@@ -1,0 +1,245 @@
+"""GCN and dense layers with explicit forward/backward.
+
+The GCN layer implements exactly the propagation of Section II-A /
+Algorithm 1 of the paper:
+
+    H_neigh = (A_hat) H W_neigh          (mean aggregation, then weights)
+    H_self  = H W_self
+    H_out   = sigma( H_neigh || H_self )  (concat + activation)
+
+where ``A_hat = D^{-1} A`` is supplied as an aggregator object exposing
+``forward`` (the spmm) and ``backward`` (its adjoint). Layers are
+framework-free: each caches what its backward pass needs and returns input
+gradients explicitly, so the training loop is a plain loop over layers. All
+parameters and gradients live in per-layer dicts keyed by name, which is
+what the optimizers consume.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from .activations import relu, relu_grad
+from .init import xavier_uniform
+
+__all__ = ["Aggregator", "GCNLayer", "DenseLayer", "Dropout"]
+
+
+class Aggregator(Protocol):
+    """Anything that can apply ``A_hat`` and its adjoint (see spmm)."""
+
+    def forward(self, features: np.ndarray) -> np.ndarray:
+        """Apply the aggregation operator ``A_hat`` to row features."""
+        ...
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Apply the adjoint ``A_hat^T`` to row gradients."""
+        ...
+
+
+class GCNLayer:
+    """One graph-convolution layer with separate self/neighbor weights.
+
+    Parameters
+    ----------
+    in_dim, out_dim:
+        Input feature size ``f^(l-1)`` and per-branch output size. With
+        ``concat=True`` (the paper's default) the layer's actual output
+        dimension is ``2 * out_dim`` (neighbor || self).
+    activation:
+        ``"relu"`` or ``"identity"``.
+    concat:
+        Concatenate the two branches (GraphSAGE-style) instead of summing.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        *,
+        activation: str = "relu",
+        concat: bool = True,
+        bias: bool = True,
+        normalize: bool = False,
+        rng: np.random.Generator,
+    ) -> None:
+        if activation not in ("relu", "identity"):
+            raise ValueError(f"unsupported activation {activation!r}")
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.activation = activation
+        self.concat = concat
+        self.use_bias = bias
+        # GraphSAGE-style L2 row normalization of the layer output
+        # (reference [2] normalizes embeddings to the unit hypersphere).
+        self.normalize = normalize
+        self.params: dict[str, np.ndarray] = {
+            "W_self": xavier_uniform(in_dim, out_dim, rng=rng),
+            "W_neigh": xavier_uniform(in_dim, out_dim, rng=rng),
+        }
+        if bias:
+            self.params["b_self"] = np.zeros(out_dim)
+            self.params["b_neigh"] = np.zeros(out_dim)
+        self.grads: dict[str, np.ndarray] = {
+            k: np.zeros_like(v) for k, v in self.params.items()
+        }
+        # Backward cache, populated by forward(train=True).
+        self._cache: dict[str, object] | None = None
+
+    @property
+    def output_dim(self) -> int:
+        return 2 * self.out_dim if self.concat else self.out_dim
+
+    def forward(
+        self, features: np.ndarray, aggregator: Aggregator, *, train: bool = True
+    ) -> np.ndarray:
+        """Propagate features one layer; caches activations when training."""
+        h_agg = aggregator.forward(features)
+        z_neigh = h_agg @ self.params["W_neigh"]
+        z_self = features @ self.params["W_self"]
+        if self.use_bias:
+            z_neigh = z_neigh + self.params["b_neigh"]
+            z_self = z_self + self.params["b_self"]
+        if self.concat:
+            z = np.concatenate([z_neigh, z_self], axis=1)
+        else:
+            z = z_neigh + z_self
+        act = relu(z) if self.activation == "relu" else z
+        if self.normalize:
+            norms = np.linalg.norm(act, axis=1, keepdims=True)
+            norms = np.maximum(norms, 1e-12)
+            out = act / norms
+        else:
+            norms = None
+            out = act
+        if train:
+            self._cache = {
+                "features": features,
+                "h_agg": h_agg,
+                "z": z,
+                "norms": norms,
+                "out": out if self.normalize else None,
+                "aggregator": aggregator,
+            }
+        else:
+            self._cache = None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate parameter grads; return gradient w.r.t. the input."""
+        if self._cache is None:
+            raise RuntimeError("backward called without a cached forward(train=True)")
+        features: np.ndarray = self._cache["features"]  # type: ignore[assignment]
+        h_agg: np.ndarray = self._cache["h_agg"]  # type: ignore[assignment]
+        z: np.ndarray = self._cache["z"]  # type: ignore[assignment]
+        aggregator: Aggregator = self._cache["aggregator"]  # type: ignore[assignment]
+
+        if self.normalize:
+            # y = a / ||a||: dL/da = (dy - y * <y, dy>) / ||a||.
+            norms: np.ndarray = self._cache["norms"]  # type: ignore[assignment]
+            y: np.ndarray = self._cache["out"]  # type: ignore[assignment]
+            inner = np.sum(y * grad_out, axis=1, keepdims=True)
+            grad_out = (grad_out - y * inner) / norms
+        dz = relu_grad(z, grad_out) if self.activation == "relu" else grad_out
+        if self.concat:
+            dz_neigh = dz[:, : self.out_dim]
+            dz_self = dz[:, self.out_dim :]
+        else:
+            dz_neigh = dz
+            dz_self = dz
+
+        self.grads["W_neigh"] += h_agg.T @ dz_neigh
+        self.grads["W_self"] += features.T @ dz_self
+        if self.use_bias:
+            self.grads["b_neigh"] += dz_neigh.sum(axis=0)
+            self.grads["b_self"] += dz_self.sum(axis=0)
+
+        d_h_agg = dz_neigh @ self.params["W_neigh"].T
+        d_features = dz_self @ self.params["W_self"].T
+        d_features += aggregator.backward(d_h_agg)
+        return d_features
+
+    def zero_grad(self) -> None:
+        """Reset accumulated parameter gradients to zero."""
+        for g in self.grads.values():
+            g[...] = 0.0
+
+
+class DenseLayer:
+    """Fully-connected layer (the classifier head, PREDICT in Algorithm 1)."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        *,
+        activation: str = "identity",
+        rng: np.random.Generator,
+    ) -> None:
+        if activation not in ("relu", "identity"):
+            raise ValueError(f"unsupported activation {activation!r}")
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.activation = activation
+        self.params: dict[str, np.ndarray] = {
+            "W": xavier_uniform(in_dim, out_dim, rng=rng),
+            "b": np.zeros(out_dim),
+        }
+        self.grads: dict[str, np.ndarray] = {
+            k: np.zeros_like(v) for k, v in self.params.items()
+        }
+        self._cache: dict[str, np.ndarray] | None = None
+
+    @property
+    def output_dim(self) -> int:
+        return self.out_dim
+
+    def forward(self, x: np.ndarray, *, train: bool = True) -> np.ndarray:
+        """Affine transform (+ optional ReLU); caches inputs when training."""
+        z = x @ self.params["W"] + self.params["b"]
+        out = relu(z) if self.activation == "relu" else z
+        self._cache = {"x": x, "z": z} if train else None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate dW/db; return the gradient w.r.t. the input."""
+        if self._cache is None:
+            raise RuntimeError("backward called without a cached forward(train=True)")
+        x, z = self._cache["x"], self._cache["z"]
+        dz = relu_grad(z, grad_out) if self.activation == "relu" else grad_out
+        self.grads["W"] += x.T @ dz
+        self.grads["b"] += dz.sum(axis=0)
+        return dz @ self.params["W"].T
+
+    def zero_grad(self) -> None:
+        """Reset accumulated parameter gradients to zero."""
+        for g in self.grads.values():
+            g[...] = 0.0
+
+
+class Dropout:
+    """Inverted dropout; identity when ``rate == 0`` or evaluating."""
+
+    def __init__(self, rate: float, *, rng: np.random.Generator) -> None:
+        if not (0.0 <= rate < 1.0):
+            raise ValueError("dropout rate must lie in [0, 1)")
+        self.rate = rate
+        self.rng = rng
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, *, train: bool = True) -> np.ndarray:
+        """Apply an inverted-dropout mask (identity when evaluating)."""
+        if not train or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Propagate gradients through the mask used in the last forward."""
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask

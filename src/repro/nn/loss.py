@@ -1,0 +1,88 @@
+"""Loss functions (LOSS step of Algorithm 1), forward + gradient.
+
+Two losses cover the paper's tasks:
+
+* :class:`SoftmaxCrossEntropy` — single-label (Reddit).
+* :class:`SigmoidCrossEntropy` — multi-label (PPI, Yelp, Amazon), one
+  independent logistic per class, implemented with the max-trick stable
+  formulation ``max(x,0) - x*y + log(1 + exp(-|x|))``.
+
+Both return the mean loss over vertices and the gradient with respect to
+the logits scaled the same way (so gradient magnitudes are independent of
+batch size, as in the TF reference implementations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .activations import sigmoid, softmax
+
+__all__ = ["SoftmaxCrossEntropy", "SigmoidCrossEntropy", "make_loss"]
+
+
+class SoftmaxCrossEntropy:
+    """Mean softmax cross-entropy over rows; targets are int class ids."""
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        """Mean negative log-likelihood of the target classes."""
+        if logits.ndim != 2:
+            raise ValueError("logits must be (batch, classes)")
+        targets = np.asarray(targets)
+        if targets.ndim != 1 or targets.shape[0] != logits.shape[0]:
+            raise ValueError("targets must be 1-D class ids matching batch")
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=1))
+        batch = np.arange(logits.shape[0])
+        nll = log_z - shifted[batch, targets]
+        return float(nll.mean())
+
+    def backward(self, logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """d(mean loss)/d(logits) = (softmax - onehot) / batch."""
+        p = softmax(logits, axis=1)
+        batch = np.arange(logits.shape[0])
+        p[batch, np.asarray(targets)] -= 1.0
+        return p / logits.shape[0]
+
+    def predict(self, logits: np.ndarray) -> np.ndarray:
+        """Hard class predictions (argmax)."""
+        return logits.argmax(axis=1)
+
+
+class SigmoidCrossEntropy:
+    """Mean (over rows) of summed per-class logistic cross-entropy.
+
+    Targets are a 0/1 matrix of the same shape as the logits.
+    """
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        """Mean over rows of summed per-class logistic cross-entropy."""
+        targets = np.asarray(targets, dtype=np.float64)
+        if targets.shape != logits.shape:
+            raise ValueError(
+                f"targets shape {targets.shape} != logits shape {logits.shape}"
+            )
+        per_elem = (
+            np.maximum(logits, 0.0)
+            - logits * targets
+            + np.log1p(np.exp(-np.abs(logits)))
+        )
+        return float(per_elem.sum(axis=1).mean())
+
+    def backward(self, logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """d(mean loss)/d(logits) = (sigmoid(x) - y) / batch."""
+        targets = np.asarray(targets, dtype=np.float64)
+        return (sigmoid(logits) - targets) / logits.shape[0]
+
+    def predict(self, logits: np.ndarray) -> np.ndarray:
+        """Per-class hard predictions (threshold at probability 0.5)."""
+        return (logits > 0.0).astype(np.float64)
+
+
+def make_loss(task: str):
+    """Loss factory keyed by dataset task type (``"single"``/``"multi"``)."""
+    if task == "single":
+        return SoftmaxCrossEntropy()
+    if task == "multi":
+        return SigmoidCrossEntropy()
+    raise ValueError(f"unknown task {task!r}")

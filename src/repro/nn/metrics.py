@@ -1,0 +1,76 @@
+"""Classification metrics — F1-micro is the paper's headline metric.
+
+Implemented from scratch (no sklearn): micro/macro F1 for both task types,
+plus plain accuracy. For single-label tasks predictions are argmax class
+ids; for multi-label tasks predictions are 0/1 matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["f1_micro", "f1_macro", "accuracy", "confusion_counts"]
+
+
+def _as_indicator(y: np.ndarray, num_classes: int) -> np.ndarray:
+    """Class ids -> one-hot; indicator matrices pass through."""
+    y = np.asarray(y)
+    if y.ndim == 1:
+        out = np.zeros((y.shape[0], num_classes), dtype=np.float64)
+        out[np.arange(y.shape[0]), y.astype(np.int64)] = 1.0
+        return out
+    return y.astype(np.float64)
+
+
+def confusion_counts(
+    y_true: np.ndarray, y_pred: np.ndarray, num_classes: int | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-class (tp, fp, fn) counts for either label format."""
+    if num_classes is None:
+        if y_true.ndim == 2:
+            num_classes = y_true.shape[1]
+        else:
+            num_classes = int(max(y_true.max(initial=0), y_pred.max(initial=0))) + 1
+    t = _as_indicator(y_true, num_classes)
+    p = _as_indicator(y_pred, num_classes)
+    tp = (t * p).sum(axis=0)
+    fp = ((1.0 - t) * p).sum(axis=0)
+    fn = (t * (1.0 - p)).sum(axis=0)
+    return tp, fp, fn
+
+
+def f1_micro(
+    y_true: np.ndarray, y_pred: np.ndarray, num_classes: int | None = None
+) -> float:
+    """Micro-averaged F1: global tp/fp/fn pooled over classes."""
+    tp, fp, fn = confusion_counts(y_true, y_pred, num_classes)
+    tp_s, fp_s, fn_s = tp.sum(), fp.sum(), fn.sum()
+    denom = 2.0 * tp_s + fp_s + fn_s
+    return float(2.0 * tp_s / denom) if denom > 0 else 0.0
+
+
+def f1_macro(
+    y_true: np.ndarray, y_pred: np.ndarray, num_classes: int | None = None
+) -> float:
+    """Macro-averaged F1: unweighted mean of per-class F1.
+
+    Classes with no true and no predicted samples are excluded from the
+    average (so a perfect prediction scores 1.0 even when some of the
+    ``num_classes`` labels never occur in the evaluated split).
+    """
+    tp, fp, fn = confusion_counts(y_true, y_pred, num_classes)
+    denom = 2.0 * tp + fp + fn
+    present = denom > 0
+    if not np.any(present):
+        return 0.0
+    f1 = 2.0 * tp[present] / denom[present]
+    return float(f1.mean())
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Exact-match accuracy (per-row for multi-label)."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.ndim == 1:
+        return float((y_true == y_pred).mean()) if y_true.size else 0.0
+    return float(np.all(y_true == y_pred, axis=1).mean()) if y_true.size else 0.0

@@ -1,0 +1,91 @@
+"""Optimizers (the ADAM step of Algorithm 1).
+
+Optimizers operate on a flat list of ``(params, grads)`` dict pairs — one
+pair per layer — updating parameters in place. State (Adam moments) is
+keyed by ``(pair index, name)`` so layers can be heterogeneous.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Adam", "SGD", "ParamGroup"]
+
+ParamGroup = tuple[dict[str, np.ndarray], dict[str, np.ndarray]]
+
+
+class SGD:
+    """Plain (optionally L2-regularized) stochastic gradient descent."""
+
+    def __init__(self, lr: float = 0.01, weight_decay: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+        self.weight_decay = weight_decay
+
+    def step(self, groups: list[ParamGroup]) -> None:
+        """Apply one gradient-descent update to every parameter."""
+        for params, grads in groups:
+            for name, p in params.items():
+                g = grads[name]
+                if self.weight_decay and p.ndim > 1:
+                    g = g + self.weight_decay * p
+                p -= self.lr * g
+
+
+class Adam:
+    """Adam (Kingma & Ba) with bias correction and optional L2 decay.
+
+    Matches the TF1 defaults used by the paper's reference code:
+    ``beta1=0.9, beta2=0.999, eps=1e-8``.
+    """
+
+    def __init__(
+        self,
+        lr: float = 0.01,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError("betas must lie in [0, 1)")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.t = 0
+        self._m: dict[tuple[int, str], np.ndarray] = {}
+        self._v: dict[tuple[int, str], np.ndarray] = {}
+
+    def step(self, groups: list[ParamGroup]) -> None:
+        """Apply one bias-corrected Adam update to every parameter."""
+        self.t += 1
+        b1t = 1.0 - self.beta1**self.t
+        b2t = 1.0 - self.beta2**self.t
+        for gi, (params, grads) in enumerate(groups):
+            for name, p in params.items():
+                g = grads[name]
+                if self.weight_decay and p.ndim > 1:
+                    g = g + self.weight_decay * p
+                key = (gi, name)
+                if key not in self._m:
+                    self._m[key] = np.zeros_like(p)
+                    self._v[key] = np.zeros_like(p)
+                m, v = self._m[key], self._v[key]
+                m *= self.beta1
+                m += (1.0 - self.beta1) * g
+                v *= self.beta2
+                v += (1.0 - self.beta2) * np.square(g)
+                m_hat = m / b1t
+                v_hat = v / b2t
+                p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def reset(self) -> None:
+        """Drop all moment state (used when re-initializing a model)."""
+        self.t = 0
+        self._m.clear()
+        self._v.clear()

@@ -1,0 +1,81 @@
+"""Learning-rate schedules.
+
+Schedules are callables ``step -> lr`` that the trainer applies before
+each optimizer step (the TF reference code of the baselines uses constant
+rates; schedules are provided for the extension experiments and examples).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ConstantLR", "StepDecayLR", "CosineAnnealingLR", "WarmupLR", "apply_schedule"]
+
+
+class ConstantLR:
+    """Always the base rate."""
+
+    def __init__(self, base_lr: float) -> None:
+        if base_lr <= 0:
+            raise ValueError("base_lr must be positive")
+        self.base_lr = base_lr
+
+    def __call__(self, step: int) -> float:
+        return self.base_lr
+
+
+class StepDecayLR:
+    """Multiply by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, base_lr: float, *, step_size: int, gamma: float = 0.5) -> None:
+        if base_lr <= 0 or step_size <= 0 or not (0 < gamma <= 1):
+            raise ValueError("invalid schedule parameters")
+        self.base_lr = base_lr
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def __call__(self, step: int) -> float:
+        return self.base_lr * self.gamma ** (step // self.step_size)
+
+
+class CosineAnnealingLR:
+    """Cosine decay from ``base_lr`` to ``min_lr`` over ``total_steps``."""
+
+    def __init__(
+        self, base_lr: float, *, total_steps: int, min_lr: float = 0.0
+    ) -> None:
+        if base_lr <= 0 or total_steps <= 0 or min_lr < 0 or min_lr > base_lr:
+            raise ValueError("invalid schedule parameters")
+        self.base_lr = base_lr
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def __call__(self, step: int) -> float:
+        t = min(step, self.total_steps) / self.total_steps
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * t)
+        )
+
+
+class WarmupLR:
+    """Linear warmup over ``warmup_steps``, then delegate to ``after``."""
+
+    def __init__(self, after, *, warmup_steps: int) -> None:
+        if warmup_steps < 1:
+            raise ValueError("warmup_steps must be >= 1")
+        self.after = after
+        self.warmup_steps = warmup_steps
+
+    def __call__(self, step: int) -> float:
+        if step < self.warmup_steps:
+            return self.after(self.warmup_steps) * (step + 1) / self.warmup_steps
+        return self.after(step)
+
+
+def apply_schedule(optimizer, schedule, step: int) -> float:
+    """Set ``optimizer.lr`` from the schedule; returns the applied rate."""
+    lr = schedule(step)
+    if lr <= 0:
+        raise ValueError(f"schedule produced non-positive lr {lr} at step {step}")
+    optimizer.lr = lr
+    return lr

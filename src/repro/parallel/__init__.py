@@ -1,0 +1,20 @@
+"""Simulated shared-memory machine: spec, cost accounting, traces."""
+
+from .costmodel import CostCounter, parallel_time, simulated_time
+from .executor import ParallelRegion, WorkSpanExecutor, static_chunk_makespan
+from .machine import MachineSpec, laptop_4core, xeon_40core
+from .trace import ExecutionTrace, PhaseRecord
+
+__all__ = [
+    "MachineSpec",
+    "xeon_40core",
+    "laptop_4core",
+    "CostCounter",
+    "ParallelRegion",
+    "WorkSpanExecutor",
+    "static_chunk_makespan",
+    "simulated_time",
+    "parallel_time",
+    "ExecutionTrace",
+    "PhaseRecord",
+]

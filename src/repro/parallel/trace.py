@@ -1,0 +1,121 @@
+"""Execution traces: named phases of simulated time.
+
+The Figure 3 breakdown ("Weight Application / Feat Propagation / Sampling")
+is regenerated from these traces: the trainer records one
+:class:`PhaseRecord` per training phase per iteration, and the experiment
+harness aggregates them into per-phase totals and fractions.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["PhaseRecord", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class PhaseRecord:
+    """One timed phase: name + simulated duration (cost units)."""
+
+    phase: str
+    simulated_time: float
+    iteration: int = -1
+
+    def __post_init__(self) -> None:
+        if self.simulated_time < 0:
+            raise ValueError("simulated_time must be non-negative")
+
+
+@dataclass
+class ExecutionTrace:
+    """Append-only log of phase records with aggregation helpers."""
+
+    records: list[PhaseRecord] = field(default_factory=list)
+
+    def record(self, phase: str, simulated_time: float, iteration: int = -1) -> None:
+        """Append one phase record."""
+        self.records.append(PhaseRecord(phase, simulated_time, iteration))
+
+    def total(self, phase: str | None = None) -> float:
+        """Total simulated time, optionally restricted to one phase."""
+        if phase is None:
+            return sum(r.simulated_time for r in self.records)
+        return sum(r.simulated_time for r in self.records if r.phase == phase)
+
+    def totals_by_phase(self) -> dict[str, float]:
+        """Summed simulated time per phase name."""
+        out: dict[str, float] = defaultdict(float)
+        for r in self.records:
+            out[r.phase] += r.simulated_time
+        return dict(out)
+
+    def breakdown(self) -> dict[str, float]:
+        """Per-phase fraction of total simulated time (sums to 1)."""
+        totals = self.totals_by_phase()
+        grand = sum(totals.values())
+        if grand == 0.0:
+            return {k: 0.0 for k in totals}
+        return {k: v / grand for k, v in totals.items()}
+
+    def phases(self) -> list[str]:
+        """Phase names in order of first appearance."""
+        seen: list[str] = []
+        for r in self.records:
+            if r.phase not in seen:
+                seen.append(r.phase)
+        return seen
+
+    def merge(self, other: "ExecutionTrace") -> None:
+        """Append another trace's records to this one."""
+        self.records.extend(other.records)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_csv(self, path) -> None:
+        """Write records as CSV (``iteration,phase,simulated_time``)."""
+        import pathlib
+
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lines = ["iteration,phase,simulated_time"]
+        lines += [
+            f"{r.iteration},{r.phase},{r.simulated_time!r}" for r in self.records
+        ]
+        path.write_text("\n".join(lines) + "\n")
+
+    def to_json(self, path) -> None:
+        """Write records plus per-phase totals as a JSON document."""
+        import json
+        import pathlib
+
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "records": [
+                {
+                    "iteration": r.iteration,
+                    "phase": r.phase,
+                    "simulated_time": r.simulated_time,
+                }
+                for r in self.records
+            ],
+            "totals_by_phase": self.totals_by_phase(),
+            "breakdown": self.breakdown(),
+        }
+        path.write_text(json.dumps(doc, indent=2) + "\n")
+
+    @classmethod
+    def from_csv(cls, path) -> "ExecutionTrace":
+        """Read a trace previously written by :meth:`to_csv`."""
+        import pathlib
+
+        trace = cls()
+        lines = pathlib.Path(path).read_text().splitlines()
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            iteration, phase, sim = line.split(",", 2)
+            trace.record(phase, float(sim), int(iteration))
+        return trace

@@ -1,0 +1,113 @@
+"""Sparse feature-aggregation kernels (the ``(A^T) H`` step of Algorithm 1).
+
+The GCN's feature-aggregation step computes, for every vertex, the mean of
+its neighbors' feature vectors. On the sampled subgraph this is the
+dominant irregular kernel (Section V of the paper). Two interchangeable
+backends are provided:
+
+* :func:`spmm_sum_scipy` — scipy CSR matvec, the fast path (C loops).
+* :func:`spmm_sum_numpy` — pure-numpy ``add.reduceat`` over the CSR arrays;
+  used as an independent oracle in tests and by the partitioned
+  propagation driver, whose per-feature-chunk traffic the cache model
+  meters explicitly.
+
+:class:`MeanAggregator` wraps a graph once (building the scipy operator a
+single time) and exposes the forward mean-aggregation and its adjoint for
+backpropagation. For an undirected graph with row-mean normalization
+``M = D^{-1} A``, the adjoint is ``M^T G = A (D^{-1} G)`` because ``A`` is
+symmetric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graphs.csr import CSRGraph
+
+__all__ = ["spmm_sum_scipy", "spmm_sum_numpy", "MeanAggregator"]
+
+
+def _to_scipy(graph: CSRGraph) -> sp.csr_matrix:
+    data = np.ones(graph.num_edges_directed, dtype=np.float64)
+    n = graph.num_vertices
+    return sp.csr_matrix((data, graph.indices, graph.indptr), shape=(n, n))
+
+
+def spmm_sum_scipy(graph: CSRGraph, features: np.ndarray) -> np.ndarray:
+    """``A @ H``: per-vertex sum of neighbor features via scipy CSR."""
+    return _to_scipy(graph) @ features
+
+
+def spmm_sum_numpy(graph: CSRGraph, features: np.ndarray) -> np.ndarray:
+    """``A @ H`` in pure numpy.
+
+    Gathers all neighbor rows then segment-sums them with
+    ``np.add.reduceat``. Zero-degree vertices produce zero rows (reduceat's
+    empty-segment pitfall is handled explicitly).
+    """
+    n = graph.num_vertices
+    f = features.shape[1]
+    out = np.zeros((n, f), dtype=features.dtype)
+    if graph.num_edges_directed == 0:
+        return out
+    gathered = features[graph.indices]
+    nonempty = np.flatnonzero(graph.degrees > 0)
+    starts = graph.indptr[nonempty]
+    out[nonempty] = np.add.reduceat(gathered, starts, axis=0)
+    return out
+
+
+class MeanAggregator:
+    """Mean neighbor aggregation ``M = D^{-1} A`` with adjoint.
+
+    Parameters
+    ----------
+    graph:
+        Undirected graph (symmetric adjacency). Zero-degree vertices
+        aggregate to the zero vector.
+    backend:
+        ``"scipy"`` (default, fast) or ``"numpy"`` (oracle).
+    """
+
+    def __init__(self, graph: CSRGraph, *, backend: str = "scipy") -> None:
+        if backend not in ("scipy", "numpy"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.graph = graph
+        self.backend = backend
+        deg = graph.degrees.astype(np.float64)
+        self._inv_deg = np.divide(
+            1.0, deg, out=np.zeros_like(deg), where=deg > 0
+        )[:, None]
+        self._mat = _to_scipy(graph) if backend == "scipy" else None
+
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    def _spmm(self, x: np.ndarray) -> np.ndarray:
+        if self._mat is not None:
+            return self._mat @ x
+        return spmm_sum_numpy(self.graph, x)
+
+    def forward(self, features: np.ndarray) -> np.ndarray:
+        """``D^{-1} A @ H`` — mean of neighbor feature vectors."""
+        if features.shape[0] != self.num_vertices:
+            raise ValueError(
+                f"features rows {features.shape[0]} != vertices {self.num_vertices}"
+            )
+        return self._inv_deg * self._spmm(features)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Adjoint ``M^T G = A (D^{-1} G)`` (valid for symmetric ``A``)."""
+        if grad.shape[0] != self.num_vertices:
+            raise ValueError(
+                f"grad rows {grad.shape[0]} != vertices {self.num_vertices}"
+            )
+        return self._spmm(self._inv_deg * grad)
+
+    def dense(self) -> np.ndarray:
+        """Dense ``M`` for small graphs (testing only)."""
+        n = self.num_vertices
+        eye = np.eye(n)
+        return self.forward(eye)

@@ -1,0 +1,72 @@
+"""Graph samplers: frontier (serial + Dashboard), scheduler, extensions."""
+
+from .alias import AliasTable, dynamic_sampling_cost
+from .base import GraphSampler, SampledSubgraph
+from .estimators import (
+    degree_biased_visits,
+    estimate_degree_distribution,
+    estimate_mean_degree,
+    estimate_vertex_mean,
+)
+from .cost import (
+    probe_rounds_expected,
+    sampler_cost_eq2,
+    serial_sampler_cost,
+    simulated_sampler_time,
+    theorem1_max_processors,
+    theorem1_speedup_bound,
+)
+from .dashboard import Dashboard, DashboardFrontierSampler
+from .extra import (
+    ForestFireSampler,
+    MetropolisHastingsWalkSampler,
+    RandomEdgeSampler,
+    RandomNodeSampler,
+    RandomWalkSampler,
+    SnowballSampler,
+)
+from .mp_pool import ParallelSamplerPool, sample_batch_parallel
+from .parallel_sim import (
+    CleanupEvent,
+    PopEvent,
+    SamplerReplay,
+    record_replay,
+    simulate_replay,
+)
+from .frontier import FrontierSampler
+from .scheduler import PoolFill, SubgraphPool
+
+__all__ = [
+    "GraphSampler",
+    "AliasTable",
+    "dynamic_sampling_cost",
+    "degree_biased_visits",
+    "estimate_mean_degree",
+    "estimate_vertex_mean",
+    "estimate_degree_distribution",
+    "SampledSubgraph",
+    "FrontierSampler",
+    "Dashboard",
+    "DashboardFrontierSampler",
+    "SubgraphPool",
+    "PoolFill",
+    "RandomNodeSampler",
+    "RandomEdgeSampler",
+    "RandomWalkSampler",
+    "ForestFireSampler",
+    "MetropolisHastingsWalkSampler",
+    "SnowballSampler",
+    "PopEvent",
+    "CleanupEvent",
+    "SamplerReplay",
+    "record_replay",
+    "simulate_replay",
+    "ParallelSamplerPool",
+    "sample_batch_parallel",
+    "sampler_cost_eq2",
+    "serial_sampler_cost",
+    "simulated_sampler_time",
+    "probe_rounds_expected",
+    "theorem1_max_processors",
+    "theorem1_speedup_bound",
+]

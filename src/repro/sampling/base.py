@@ -1,0 +1,69 @@
+"""Sampler interfaces and the sampled-subgraph container."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+
+__all__ = ["SampledSubgraph", "GraphSampler"]
+
+
+@dataclass(frozen=True)
+class SampledSubgraph:
+    """Output of one sampler run: an induced subgraph + id mapping.
+
+    Attributes
+    ----------
+    graph:
+        The induced subgraph with vertices relabeled ``0..k-1``.
+    vertex_map:
+        ``vertex_map[i]`` is the original-graph id of subgraph vertex ``i``
+        (sorted ascending, unique).
+    stats:
+        Optional sampler-specific operation statistics (used by the cost
+        model); plain dict so samplers can report what they like.
+    """
+
+    graph: CSRGraph
+    vertex_map: np.ndarray
+    stats: dict[str, float] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.vertex_map.shape[0] != self.graph.num_vertices:
+            raise ValueError("vertex_map length must equal subgraph size")
+
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+
+class GraphSampler(abc.ABC):
+    """Base class: samplers produce induced subgraphs of a fixed graph.
+
+    Implementations must be deterministic given the supplied generator, so
+    training runs are reproducible and sampler instances can be replayed
+    across processes (Algorithm 5 launches many independent instances).
+    """
+
+    def __init__(self, graph: CSRGraph) -> None:
+        if graph.num_vertices == 0:
+            raise ValueError("cannot sample from an empty graph")
+        self.graph = graph
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> SampledSubgraph:
+        """Draw one subgraph."""
+
+    def sample_many(
+        self, count: int, rng: np.random.Generator
+    ) -> list[SampledSubgraph]:
+        """Draw ``count`` independent subgraphs (convenience)."""
+        return [self.sample(rng) for _ in range(count)]

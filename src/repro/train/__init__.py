@@ -1,0 +1,42 @@
+"""Training: configuration, the GS-GCN trainer, full-graph evaluation."""
+
+from .checkpoint import checkpoint_metadata, load_checkpoint, save_checkpoint
+from .config import TrainConfig
+from .embedding import (
+    compute_embeddings,
+    cosine_nearest_neighbors,
+    embedding_report,
+    label_homogeneity,
+    normalize_embeddings,
+)
+from .evaluation import EvalResult, Evaluator
+from .trainer import (
+    PHASE_FEATURE_PROP,
+    PHASE_SAMPLING,
+    PHASE_WEIGHT_APP,
+    EpochRecord,
+    GraphSamplingTrainer,
+    IterationMetrics,
+    TrainResult,
+)
+
+__all__ = [
+    "TrainConfig",
+    "save_checkpoint",
+    "load_checkpoint",
+    "checkpoint_metadata",
+    "compute_embeddings",
+    "normalize_embeddings",
+    "cosine_nearest_neighbors",
+    "label_homogeneity",
+    "embedding_report",
+    "Evaluator",
+    "EvalResult",
+    "GraphSamplingTrainer",
+    "TrainResult",
+    "EpochRecord",
+    "IterationMetrics",
+    "PHASE_SAMPLING",
+    "PHASE_FEATURE_PROP",
+    "PHASE_WEIGHT_APP",
+]

@@ -1,0 +1,67 @@
+"""Training configuration for the graph-sampling GCN."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..parallel.machine import MachineSpec, xeon_40core
+
+__all__ = ["TrainConfig"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyperparameters of Algorithm 5 training.
+
+    Attributes
+    ----------
+    hidden_dims:
+        Per-branch hidden sizes, one per GCN layer; the paper evaluates
+        2-layer models with 512 and 1024, and up to 3 layers in Table II.
+    frontier_size, budget, eta, max_entries_per_vertex:
+        Frontier-sampler parameters (``m``, ``n``, enlargement factor and
+        the skew cap of Section VI-C2).
+    p_inter, p_intra:
+        Scheduler parallelism: sampler instances and AVX lanes per
+        instance (Section IV-C; the paper's platform uses 40 x 8).
+    cores:
+        Worker count used for training-phase cost simulation.
+    epochs:
+        One epoch processes ``ceil(|V_train| / budget)`` subgraph batches
+        (the paper's definition of an epoch as one full traversal).
+    """
+
+    hidden_dims: tuple[int, ...] = (128, 128)
+    frontier_size: int = 100
+    budget: int = 500
+    eta: float = 2.0
+    max_entries_per_vertex: int | None = None
+    lr: float = 0.01
+    weight_decay: float = 0.0
+    dropout: float = 0.0
+    concat: bool = True
+    epochs: int = 10
+    eval_every: int = 1
+    # Early stopping: end training when validation F1-micro has not
+    # improved for this many consecutive evaluations (None disables).
+    patience: int | None = None
+    # When True, the model is restored to the weights of its best
+    # validation evaluation at the end of train().
+    restore_best: bool = False
+    p_inter: int = 1
+    p_intra: int = 1
+    cores: int = 1
+    seed: int = 0
+    machine: MachineSpec = field(default_factory=xeon_40core)
+
+    def __post_init__(self) -> None:
+        if not self.hidden_dims:
+            raise ValueError("need at least one hidden layer")
+        if self.frontier_size <= 0 or self.budget < self.frontier_size:
+            raise ValueError("invalid sampler sizes")
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if min(self.p_inter, self.p_intra, self.cores) <= 0:
+            raise ValueError("parallelism parameters must be positive")
+        if self.patience is not None and self.patience < 1:
+            raise ValueError("patience must be >= 1 when set")

@@ -1,0 +1,113 @@
+"""Vertex-embedding utilities — the paper's actual output artifact.
+
+"Taking an unstructured, attributed graph as input, the embedding process
+outputs structured vectors which capture information of the original
+graph" (Section I). This module extracts those vectors from a trained GCN
+and provides the downstream operations the paper motivates embeddings
+with: nearest-neighbor retrieval (content recommendation) and clustering
+quality against labels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.datasets import Dataset
+from ..nn.network import GCN
+from ..propagation.spmm import MeanAggregator
+
+__all__ = [
+    "compute_embeddings",
+    "normalize_embeddings",
+    "cosine_nearest_neighbors",
+    "label_homogeneity",
+    "embedding_report",
+]
+
+
+def compute_embeddings(model: GCN, dataset: Dataset) -> np.ndarray:
+    """Final-layer embeddings ``H^(L)`` for every vertex of the dataset."""
+    aggregator = MeanAggregator(dataset.graph)
+    return model.embeddings(dataset.features, aggregator)
+
+
+def normalize_embeddings(embeddings: np.ndarray) -> np.ndarray:
+    """L2-normalize rows (zero rows stay zero)."""
+    norms = np.linalg.norm(embeddings, axis=1, keepdims=True)
+    return np.divide(
+        embeddings, norms, out=np.zeros_like(embeddings), where=norms > 0
+    )
+
+
+def cosine_nearest_neighbors(
+    embeddings: np.ndarray, queries: np.ndarray, k: int = 10
+) -> tuple[np.ndarray, np.ndarray]:
+    """Top-``k`` cosine neighbors of each query vertex.
+
+    Returns ``(indices, similarities)`` of shape ``(len(queries), k)``;
+    each query's own row is excluded.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    normed = normalize_embeddings(embeddings)
+    sims = normed[queries] @ normed.T
+    sims[np.arange(queries.shape[0]), queries] = -np.inf
+    k = min(k, embeddings.shape[0] - 1)
+    idx = np.argpartition(-sims, kth=k - 1, axis=1)[:, :k]
+    row = np.arange(queries.shape[0])[:, None]
+    order = np.argsort(-sims[row, idx], axis=1)
+    idx = idx[row, order]
+    return idx, sims[row, idx]
+
+
+def label_homogeneity(
+    embeddings: np.ndarray,
+    labels: np.ndarray,
+    *,
+    k: int = 10,
+    sample: int | None = 256,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Mean fraction of a vertex's k nearest neighbors sharing its label.
+
+    For multi-label matrices, "sharing" means Jaccard similarity of label
+    sets >= 0.5. A useful embedding scores far above the label-frequency
+    base rate; this is the quantitative check behind the retrieval demo.
+    """
+    n = embeddings.shape[0]
+    if sample is not None and sample < n:
+        rng = rng or np.random.default_rng(0)
+        queries = rng.choice(n, size=sample, replace=False)
+    else:
+        queries = np.arange(n)
+    idx, _ = cosine_nearest_neighbors(embeddings, queries, k=k)
+    labels = np.asarray(labels)
+    if labels.ndim == 1:
+        same = labels[idx] == labels[queries][:, None]
+        return float(same.mean())
+    q = labels[queries][:, None, :]
+    nb = labels[idx]
+    inter = (q * nb).sum(axis=2)
+    union = np.maximum(q, nb).sum(axis=2)
+    jac = np.divide(inter, union, out=np.zeros_like(inter), where=union > 0)
+    return float((jac >= 0.5).mean())
+
+
+def embedding_report(
+    model: GCN, dataset: Dataset, *, k: int = 10, seed: int = 0
+) -> dict[str, float]:
+    """Summary quality metrics of a model's embeddings on a dataset."""
+    emb = compute_embeddings(model, dataset)
+    rng = np.random.default_rng(seed)
+    homog = label_homogeneity(emb, dataset.labels, k=k, rng=rng)
+    # Base rate: homogeneity of random neighbor assignment.
+    perm = rng.permutation(dataset.num_vertices)
+    base = label_homogeneity(
+        emb[perm], dataset.labels, k=k, rng=np.random.default_rng(seed)
+    )
+    return {
+        "embedding_dim": float(emb.shape[1]),
+        "label_homogeneity@k": homog,
+        "shuffled_base_rate": base,
+        "lift": homog / base if base > 0 else float("inf"),
+    }

@@ -1,0 +1,282 @@
+"""The graph-sampling GCN trainer (Algorithms 1 & 5).
+
+Every iteration: pop a subgraph from the pool (refilling with ``p_inter``
+parallel sampler instances when empty), build a *complete* GCN on it, run
+forward + backward, and take an Adam step. Per the paper, training
+restricts to the training graph — the subgraph sampler never sees
+validation or test vertices — while evaluation runs a full-graph forward
+pass with the shared weights.
+
+Timing is tracked on two clocks:
+
+* **wall seconds** — real measured Python time, used by the Figure 2
+  time-accuracy comparison (every method in this repo runs in the same
+  numpy framework, so wall-clock ratios are meaningful);
+* **simulated time** — the cost-model clock: sampling from the pool's
+  metered fills, feature propagation from the partitioned propagator's
+  reports, and weight application from the GEMM flop count under the
+  MKL-like Amdahl model. These regenerate Figures 3 and 4.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.speedup import gemm_simulated_time
+from ..graphs.csr import CSRGraph
+from ..graphs.datasets import Dataset
+from ..nn.loss import make_loss
+from ..nn.network import GCN
+from ..nn.optim import Adam
+from ..parallel.trace import ExecutionTrace
+from ..propagation.feature_prop import PartitionedPropagator
+from ..sampling.dashboard import DashboardFrontierSampler
+from ..sampling.scheduler import SubgraphPool
+from .config import TrainConfig
+from .evaluation import EvalResult, Evaluator
+
+__all__ = ["EpochRecord", "TrainResult", "GraphSamplingTrainer"]
+
+PHASE_SAMPLING = "sampling"
+PHASE_FEATURE_PROP = "feature_propagation"
+PHASE_WEIGHT_APP = "weight_application"
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """Progress snapshot at the end of one epoch."""
+
+    epoch: int
+    train_loss: float
+    wall_seconds_total: float
+    sim_time_total: float
+    val: EvalResult | None
+
+
+@dataclass(frozen=True)
+class IterationMetrics:
+    """Raw metered quantities of one training iteration.
+
+    Stored so scaling experiments can *re-price* a single training run at
+    any core count / lane width without re-running it: sampler stats feed
+    :func:`repro.sampling.cost.simulated_sampler_time`, propagation
+    reports re-evaluate at any core count, and the GEMM flop count re-
+    evaluates under the Amdahl model.
+    """
+
+    sampler_stats: dict[str, float]
+    prop_reports: tuple
+    gemm_flops: float
+    subgraph_vertices: int
+    subgraph_edges: int
+
+
+@dataclass
+class TrainResult:
+    """Everything a training run produced."""
+
+    epochs: list[EpochRecord] = field(default_factory=list)
+    trace: ExecutionTrace = field(default_factory=ExecutionTrace)
+    iterations: int = 0
+    iteration_metrics: list[IterationMetrics] = field(default_factory=list)
+
+    @property
+    def final_val_f1(self) -> float:
+        for rec in reversed(self.epochs):
+            if rec.val is not None:
+                return rec.val.f1_micro
+        return float("nan")
+
+    def time_to_accuracy(self, threshold: float) -> float | None:
+        """Wall seconds until validation F1-micro first reached threshold."""
+        for rec in self.epochs:
+            if rec.val is not None and rec.val.f1_micro >= threshold:
+                return rec.wall_seconds_total
+        return None
+
+    def sim_time_by_phase(self) -> dict[str, float]:
+        """Summed simulated time per training phase."""
+        return self.trace.totals_by_phase()
+
+
+class GraphSamplingTrainer:
+    """Minibatch GCN training by graph sampling (the paper's method).
+
+    Parameters
+    ----------
+    dataset, config:
+        Data and hyperparameters.
+    sampler:
+        Optional override of the subgraph sampler (built on
+        ``self.train_graph``); defaults to the Dashboard frontier sampler.
+        Used by the sampler-comparison ablation (the paper's future-work
+        direction of supporting a wider class of sampling algorithms).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        config: TrainConfig,
+        *,
+        sampler=None,
+    ) -> None:
+        self.dataset = dataset
+        self.config = config
+        self.rng = np.random.default_rng(config.seed)
+
+        # Training graph: the subgraph induced on the training split
+        # (standard transductive-restricted setup shared by the baselines).
+        self.train_graph, self.train_vmap = dataset.graph.induced_subgraph(
+            dataset.train_idx
+        )
+        self._patch_isolated_vertices()
+        self.train_features = dataset.features[self.train_vmap]
+        self.train_labels = dataset.labels[self.train_vmap]
+
+        budget = min(config.budget, self.train_graph.num_vertices)
+        frontier = min(config.frontier_size, budget)
+        if sampler is not None:
+            self.sampler = sampler
+        else:
+            self.sampler = DashboardFrontierSampler(
+                self.train_graph,
+                frontier_size=frontier,
+                budget=budget,
+                eta=config.eta,
+                max_entries_per_vertex=config.max_entries_per_vertex,
+                vector_lanes=config.machine.vector_lanes,
+            )
+        self.pool = SubgraphPool(
+            self.sampler,
+            config.machine,
+            p_inter=config.p_inter,
+            p_intra=config.p_intra,
+            rng=self.rng,
+        )
+        self.model = GCN(
+            dataset.features.shape[1],
+            list(config.hidden_dims),
+            dataset.num_classes,
+            concat=config.concat,
+            dropout=config.dropout,
+            seed=config.seed,
+        )
+        self.loss = make_loss(dataset.task)
+        self.optimizer = Adam(lr=config.lr, weight_decay=config.weight_decay)
+        self.evaluator = Evaluator(dataset)
+        self.batches_per_epoch = max(
+            1, -(-self.train_graph.num_vertices // budget)
+        )
+
+    def _patch_isolated_vertices(self) -> None:
+        """The induced training graph can strand vertices; give each a
+        random training-graph neighbor so the frontier sampler's min-degree
+        precondition holds (mirrors the ensure_min_degree preprocessing the
+        dataset generators apply to the full graph)."""
+        from ..graphs.generators import ensure_min_degree
+
+        if np.any(self.train_graph.degrees == 0):
+            self.train_graph = ensure_min_degree(self.train_graph, 1, rng=self.rng)
+
+    # ------------------------------------------------------------------
+    def _gemm_flops_per_iteration(self, n_sub: int) -> float:
+        """Dense-multiply flops of one fwd+bwd pass on an n_sub subgraph.
+
+        Forward: 2*n*f_in*f_out per weight matrix (W_self and W_neigh per
+        GCN layer, W for the head). Backward computes both dW and dX, each
+        another matmul of the same dimensions, so total = 3x forward.
+        """
+        fwd = 0.0
+        dim = self.model.in_dim
+        for layer in self.model.layers:
+            fwd += 2.0 * 2.0 * n_sub * dim * layer.out_dim  # self + neigh
+            dim = layer.output_dim
+        fwd += 2.0 * n_sub * dim * self.model.num_classes
+        return 3.0 * fwd
+
+    def train_iteration(self, iteration: int, result: TrainResult) -> float:
+        """One Algorithm-5 iteration; returns the minibatch loss."""
+        cfg = self.config
+        subgraph, samp_time = self.pool.get()
+        result.trace.record(PHASE_SAMPLING, samp_time, iteration)
+
+        propagator = PartitionedPropagator(
+            subgraph.graph, cfg.machine, cores=cfg.cores
+        )
+        feats = self.train_features[subgraph.vertex_map]
+        labels = self.train_labels[subgraph.vertex_map]
+
+        self.model.zero_grad()
+        logits = self.model.forward(feats, propagator, train=True)
+        batch_loss = self.loss.forward(logits, labels)
+        self.model.backward(self.loss.backward(logits, labels))
+        self.optimizer.step(self.model.parameter_groups())
+
+        gemm_flops = self._gemm_flops_per_iteration(subgraph.num_vertices)
+        result.trace.record(
+            PHASE_FEATURE_PROP,
+            propagator.total_simulated_time(cores=cfg.cores),
+            iteration,
+        )
+        result.trace.record(
+            PHASE_WEIGHT_APP,
+            gemm_simulated_time(gemm_flops, cfg.machine, cores=cfg.cores),
+            iteration,
+        )
+        result.iteration_metrics.append(
+            IterationMetrics(
+                sampler_stats=dict(subgraph.stats),
+                prop_reports=tuple(propagator.reports),
+                gemm_flops=gemm_flops,
+                subgraph_vertices=subgraph.num_vertices,
+                subgraph_edges=subgraph.graph.num_edges,
+            )
+        )
+        return batch_loss
+
+    def train(self, *, epochs: int | None = None) -> TrainResult:
+        """Run full training; returns per-epoch records and the time trace."""
+        cfg = self.config
+        total_epochs = epochs if epochs is not None else cfg.epochs
+        result = TrainResult()
+        wall_total = 0.0
+        best_f1 = -np.inf
+        best_state: dict[str, np.ndarray] | None = None
+        stale_evals = 0
+        for epoch in range(total_epochs):
+            t0 = time.perf_counter()
+            losses = []
+            for _ in range(self.batches_per_epoch):
+                losses.append(self.train_iteration(result.iterations, result))
+                result.iterations += 1
+            wall_total += time.perf_counter() - t0
+            val = (
+                self.evaluator.evaluate(self.model, "val")
+                if (epoch + 1) % cfg.eval_every == 0
+                else None
+            )
+            result.epochs.append(
+                EpochRecord(
+                    epoch=epoch,
+                    train_loss=float(np.mean(losses)),
+                    wall_seconds_total=wall_total,
+                    sim_time_total=result.trace.total(),
+                    val=val,
+                )
+            )
+            if val is not None:
+                if val.f1_micro > best_f1:
+                    best_f1 = val.f1_micro
+                    stale_evals = 0
+                    if cfg.restore_best:
+                        best_state = self.model.state_dict()
+                else:
+                    stale_evals += 1
+                    if cfg.patience is not None and stale_evals >= cfg.patience:
+                        break
+        if cfg.restore_best and best_state is not None:
+            self.model.load_state_dict(best_state)
+        return result

@@ -1,0 +1,123 @@
+"""Tests for the Eq. 1 complexity models and Section III-B claims."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.complexity import (
+    eq1_forward_ops,
+    gs_gcn_batch_ops,
+    gs_gcn_epoch_ops,
+    layer_sampling_batch_ops,
+    layer_sampling_epoch_ops,
+    layer_sampling_support_sizes,
+    work_ratio_vs_depth,
+)
+
+
+class TestEq1:
+    def test_hand_example(self):
+        # 1 layer: |E_0|=10 edges, |V_0|=5 -> |V_1|=3, f = (4, 2).
+        ops = eq1_forward_ops([10], [5, 3], [4, 2])
+        assert ops == 10 * 4 + 3 * 4 * 2
+
+    def test_arity_validation(self):
+        with pytest.raises(ValueError):
+            eq1_forward_ops([10], [5], [4, 2])
+
+
+class TestGSGCN:
+    def test_batch_formula(self):
+        assert gs_gcn_batch_ops(
+            num_layers=2, subgraph_size=100, subgraph_degree=5.0, f=64
+        ) == 2 * 100 * 64 * (64 + 5.0)
+
+    def test_epoch_linear_in_depth(self):
+        e1 = gs_gcn_epoch_ops(num_layers=1, num_vertices=1000, subgraph_degree=10.0, f=64)
+        e3 = gs_gcn_epoch_ops(num_layers=3, num_vertices=1000, subgraph_degree=10.0, f=64)
+        assert e3 == pytest.approx(3 * e1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gs_gcn_batch_ops(num_layers=0, subgraph_size=1, subgraph_degree=1.0, f=1)
+
+
+class TestLayerSampling:
+    def test_support_sizes_multiplicative(self):
+        sizes = layer_sampling_support_sizes(10, (5, 5))
+        assert sizes == [250, 50, 10]
+
+    def test_support_sizes_capped_at_graph(self):
+        sizes = layer_sampling_support_sizes(10, (100, 100), num_vertices=500)
+        assert sizes == [500, 500, 10][:3]
+
+    def test_batch_ops_positive_and_growing(self):
+        o1 = layer_sampling_batch_ops(batch_size=32, fanouts=(10,), f=64)
+        o2 = layer_sampling_batch_ops(batch_size=32, fanouts=(10, 10), f=64)
+        o3 = layer_sampling_batch_ops(batch_size=32, fanouts=(10, 10, 10), f=64)
+        assert o1 < o2 < o3
+        # Growth is super-linear in depth (neighbor explosion).
+        assert (o3 / o2) > (o2 / o1) * 0.8
+
+    def test_epoch_ops_batch_size_invariant_without_cap(self):
+        """Per-batch ops are linear in batch size when supports never
+        saturate, so total epoch work is batch-size invariant."""
+        one = layer_sampling_epoch_ops(
+            num_train=1000, batch_size=1000, fanouts=(5,), f=32
+        )
+        many = layer_sampling_epoch_ops(
+            num_train=1000, batch_size=100, fanouts=(5,), f=32
+        )
+        assert many == pytest.approx(one)
+
+    def test_epoch_ops_grow_when_supports_saturate(self):
+        """With the graph-size cap, small batches waste work: each batch
+        touches ~the whole graph, so more batches = more total work."""
+        few = layer_sampling_epoch_ops(
+            num_train=1000, batch_size=500, fanouts=(50, 50), f=32, num_vertices=1000
+        )
+        many = layer_sampling_epoch_ops(
+            num_train=1000, batch_size=50, fanouts=(50, 50), f=32, num_vertices=1000
+        )
+        assert many > 2 * few
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            layer_sampling_support_sizes(0, (5,))
+
+
+class TestSectionIIIBClaims:
+    def test_small_batch_explosion(self):
+        """Case 1: small batches make layer sampling exponentially more
+        expensive than graph sampling as depth grows."""
+        ratios = [
+            work_ratio_vs_depth(
+                num_layers=L,
+                num_train=100_000,
+                batch_size=512,
+                fanout=10,
+                f=128,
+                subgraph_degree=10.0,
+            )
+            for L in (1, 2, 3)
+        ]
+        assert ratios[0] < ratios[1] < ratios[2]
+        assert ratios[2] > 5 * ratios[0]
+
+    def test_large_batch_no_explosion(self):
+        """Case 2: batch ~ graph size caps the supports, and the per-epoch
+        ratio stays bounded with depth."""
+        ratios = [
+            work_ratio_vs_depth(
+                num_layers=L,
+                num_train=1000,
+                batch_size=1000,
+                fanout=10,
+                f=128,
+                subgraph_degree=10.0,
+                num_vertices=1000,
+            )
+            for L in (1, 2, 3)
+        ]
+        assert ratios[2] < 3 * ratios[0]

@@ -1,0 +1,114 @@
+"""Tests for bipartite sampled blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.blocks import SampledBlock, positions_in
+
+
+def make_block(**overrides):
+    """3 dst rows over 4 src rows; dst0 <- {0,1}, dst1 <- {2}, dst2 <- {}."""
+    kwargs = dict(
+        num_src=4,
+        num_dst=3,
+        indptr=np.array([0, 2, 3, 3], dtype=np.int64),
+        neighbor_pos=np.array([0, 1, 2], dtype=np.int64),
+        self_pos=np.array([0, 2, 3], dtype=np.int64),
+    )
+    kwargs.update(overrides)
+    return SampledBlock(**kwargs)
+
+
+class TestPositionsIn:
+    def test_basic(self):
+        universe = np.array([2, 5, 9])
+        assert np.array_equal(positions_in(universe, np.array([9, 2])), [2, 0])
+
+    def test_missing_item_raises(self):
+        with pytest.raises(ValueError, match="not contained"):
+            positions_in(np.array([1, 3]), np.array([2]))
+
+
+class TestValidation:
+    def test_bad_indptr_len(self):
+        with pytest.raises(ValueError):
+            make_block(indptr=np.array([0, 2, 3], dtype=np.int64))
+
+    def test_bad_neighbor_range(self):
+        with pytest.raises(ValueError):
+            make_block(neighbor_pos=np.array([0, 1, 9], dtype=np.int64))
+
+    def test_bad_weight_shape(self):
+        with pytest.raises(ValueError):
+            make_block(edge_weight=np.array([1.0]))
+
+
+class TestAggregate:
+    def test_mean(self, rng):
+        block = make_block()
+        h = rng.standard_normal((4, 5))
+        out = block.aggregate(h)
+        assert np.allclose(out[0], (h[0] + h[1]) / 2)
+        assert np.allclose(out[1], h[2])
+        assert np.all(out[2] == 0)  # empty neighborhood -> zeros
+
+    def test_weighted_sum(self, rng):
+        w = np.array([2.0, 3.0, 0.5])
+        block = make_block(edge_weight=w, mean_normalize=False)
+        h = rng.standard_normal((4, 2))
+        out = block.aggregate(h)
+        assert np.allclose(out[0], 2 * h[0] + 3 * h[1])
+        assert np.allclose(out[1], 0.5 * h[2])
+
+    def test_adjoint_identity(self, rng):
+        """<B x, y> == <x, B^T y> for mean and weighted-sum variants."""
+        for block in (
+            make_block(),
+            make_block(
+                edge_weight=np.array([0.3, 1.7, 2.0]), mean_normalize=False
+            ),
+        ):
+            x = rng.standard_normal((4, 3))
+            y = rng.standard_normal((3, 3))
+            lhs = float(np.sum(block.aggregate(x) * y))
+            rhs = float(np.sum(x * block.aggregate_backward(y)))
+            assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_shape_validation(self, rng):
+        block = make_block()
+        with pytest.raises(ValueError):
+            block.aggregate(rng.standard_normal((2, 3)))
+        with pytest.raises(ValueError):
+            block.aggregate_backward(rng.standard_normal((2, 3)))
+
+
+class TestGatherSelf:
+    def test_gather(self, rng):
+        block = make_block()
+        h = rng.standard_normal((4, 3))
+        out = block.gather_self(h)
+        assert np.allclose(out[0], h[0])
+        assert np.allclose(out[1], h[2])
+        assert np.allclose(out[2], h[3])
+
+    def test_absent_self(self, rng):
+        block = make_block(self_pos=np.array([0, -1, 3], dtype=np.int64))
+        h = rng.standard_normal((4, 3))
+        out = block.gather_self(h)
+        assert np.all(out[1] == 0)
+
+    def test_adjoint_identity(self, rng):
+        block = make_block()
+        x = rng.standard_normal((4, 2))
+        y = rng.standard_normal((3, 2))
+        lhs = float(np.sum(block.gather_self(x) * y))
+        rhs = float(np.sum(x * block.gather_self_backward(y)))
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_duplicate_self_positions_accumulate(self, rng):
+        block = make_block(self_pos=np.array([1, 1, 1], dtype=np.int64))
+        y = np.ones((3, 2))
+        g = block.gather_self_backward(y)
+        assert np.allclose(g[1], 3.0)

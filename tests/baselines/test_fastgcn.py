@@ -1,0 +1,82 @@
+"""Tests for the FastGCN baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.fastgcn import (
+    FastGCNConfig,
+    FastGCNTrainer,
+    importance_distribution,
+)
+from repro.graphs.csr import edges_to_csr
+
+
+class TestImportanceDistribution:
+    def test_normalized(self, medium_graph):
+        q = importance_distribution(medium_graph)
+        assert q.shape == (medium_graph.num_vertices,)
+        assert q.sum() == pytest.approx(1.0)
+        assert np.all(q >= 0)
+
+    def test_matches_manual_computation(self, star_graph):
+        q = importance_distribution(star_graph)
+        # Center: neighbors are 5 leaves each with degree 1 -> sum 5*1 = 5.
+        # Leaf: single neighbor (center, degree 5) -> (1/5)^2 = 0.04.
+        raw = np.array([5.0] + [0.04] * 5)
+        assert np.allclose(q, raw / raw.sum())
+
+    def test_edgeless_rejected(self):
+        g = edges_to_csr(np.empty((0, 2)), 3)
+        with pytest.raises(ValueError, match="no edges"):
+            importance_distribution(g)
+
+
+class TestConfig:
+    def test_arity(self):
+        with pytest.raises(ValueError, match="one layer size"):
+            FastGCNConfig(hidden_dims=(8, 8), layer_sizes=(100,))
+
+
+class TestTrainer:
+    def test_learns_reddit(self, reddit_small):
+        cfg = FastGCNConfig(
+            hidden_dims=(32, 32),
+            layer_sizes=(200, 200),
+            batch_size=128,
+            epochs=4,
+            lr=0.01,
+        )
+        trainer = FastGCNTrainer(reddit_small, cfg)
+        result = trainer.train()
+        assert result.final_val_f1 > 0.4
+
+    def test_preprocessing_charged(self, reddit_small):
+        cfg = FastGCNConfig(hidden_dims=(16,), layer_sizes=(100,), epochs=1)
+        trainer = FastGCNTrainer(reddit_small, cfg)
+        assert trainer.preprocessing_seconds > 0
+        result = trainer.train()
+        assert result.epochs[0].wall_seconds_total >= trainer.preprocessing_seconds
+
+    def test_starvation_recorded(self, reddit_small):
+        """Small layer samples leave some destinations with no sampled
+        in-neighbors — the sparse-connection failure mode."""
+        cfg = FastGCNConfig(
+            hidden_dims=(16,), layer_sizes=(20,), batch_size=64, epochs=1
+        )
+        trainer = FastGCNTrainer(reddit_small, cfg)
+        trainer.train()
+        assert trainer.starvation  # recorded
+        assert max(trainer.starvation) >= 0.0
+
+    def test_smaller_layer_size_starves_more(self, reddit_small):
+        def mean_starvation(t):
+            cfg = FastGCNConfig(
+                hidden_dims=(16,), layer_sizes=(t,), batch_size=64, epochs=1, seed=3
+            )
+            trainer = FastGCNTrainer(reddit_small, cfg)
+            trainer.train()
+            return float(np.mean(trainer.starvation))
+
+        assert mean_starvation(10) >= mean_starvation(400)

@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    CSRGraph,
+    DCSBMParams,
+    dcsbm_graph,
+    edges_to_csr,
+    grid_graph,
+    make_dataset,
+    ring_of_cliques,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def triangle_graph() -> CSRGraph:
+    """K3: the smallest graph with a triangle."""
+    return edges_to_csr(np.array([[0, 1], [1, 2], [0, 2]]), 3)
+
+
+@pytest.fixture
+def path_graph() -> CSRGraph:
+    """P4: 0-1-2-3."""
+    return edges_to_csr(np.array([[0, 1], [1, 2], [2, 3]]), 4)
+
+
+@pytest.fixture
+def star_graph() -> CSRGraph:
+    """Star with center 0 and 5 leaves."""
+    edges = np.array([[0, i] for i in range(1, 6)])
+    return edges_to_csr(edges, 6)
+
+
+@pytest.fixture
+def clique_ring() -> CSRGraph:
+    return ring_of_cliques(4, 5)
+
+
+@pytest.fixture
+def grid5() -> CSRGraph:
+    return grid_graph(5, 5)
+
+
+@pytest.fixture(scope="session")
+def medium_graph() -> CSRGraph:
+    """A ~800-vertex power-law community graph (session-cached)."""
+    params = DCSBMParams(
+        num_vertices=800, num_blocks=8, avg_degree=12.0, exponent=2.5, mixing=0.2
+    )
+    graph, _ = dcsbm_graph(params, rng=np.random.default_rng(7))
+    return graph
+
+
+@pytest.fixture(scope="session")
+def ppi_small():
+    """A small PPI-profile dataset (session-cached, ~590 vertices)."""
+    return make_dataset("ppi", scale=0.04, seed=11)
+
+
+@pytest.fixture(scope="session")
+def reddit_small():
+    """A small Reddit-profile dataset (session-cached, ~1160 vertices)."""
+    return make_dataset("reddit", scale=0.005, seed=11)

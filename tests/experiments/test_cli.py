@@ -1,0 +1,50 @@
+"""Tests for the command-line experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_experiments(self):
+        parser = build_parser()
+        for name in ("table1", "fig2", "fig3", "fig4", "table2", "ablations", "all"):
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9"])
+
+    def test_options(self):
+        args = build_parser().parse_args(
+            ["fig3", "--datasets", "ppi", "reddit", "--hidden", "256", "--seed", "7"]
+        )
+        assert args.datasets == ["ppi", "reddit"]
+        assert args.hidden == 256
+        assert args.seed == 7
+
+
+class TestMain:
+    def test_table1_to_stdout_and_file(self, tmp_path, capsys):
+        rc = main(["table1", "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert (tmp_path / "table1.txt").exists()
+
+    def test_fig4_single_dataset(self, capsys):
+        rc = main(["fig4", "--datasets", "ppi"])
+        assert rc == 0
+        assert "Figure 4A" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_assembles_results(self, capsys):
+        rc = main(["report"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # Either assembled results or the guidance message.
+        assert ("Table I" in out) or ("no results found" in out)

@@ -1,0 +1,138 @@
+"""Tests for feature and label synthesis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.features import (
+    gaussian_class_features,
+    multi_label_from_blocks,
+    single_label_from_blocks,
+    smooth_features,
+    svd_compressed_features,
+)
+from repro.graphs.generators import ring_of_cliques
+
+
+class TestGaussianFeatures:
+    def test_shape_and_dtype(self, rng):
+        blocks = rng.integers(0, 4, size=100)
+        f = gaussian_class_features(blocks, 16, rng=rng)
+        assert f.shape == (100, 16)
+        assert f.dtype == np.float64
+
+    def test_class_separability(self, rng):
+        """Same-class vertices are closer to their centroid than others."""
+        blocks = np.repeat(np.arange(4), 50)
+        f = gaussian_class_features(blocks, 32, signal=3.0, noise=0.5, rng=rng)
+        centroids = np.stack([f[blocks == b].mean(axis=0) for b in range(4)])
+        assigned = np.argmin(
+            np.linalg.norm(f[:, None, :] - centroids[None], axis=2), axis=1
+        )
+        assert np.mean(assigned == blocks) > 0.95
+
+    def test_no_signal_when_zero(self, rng):
+        blocks = np.repeat(np.arange(2), 500)
+        f = gaussian_class_features(blocks, 8, signal=0.0, noise=1.0, rng=rng)
+        gap = np.linalg.norm(f[blocks == 0].mean(0) - f[blocks == 1].mean(0))
+        assert gap < 0.5
+
+
+class TestSVDFeatures:
+    def test_shape(self, rng):
+        blocks = rng.integers(0, 5, size=120)
+        f = svd_compressed_features(blocks, 20, rng=rng)
+        assert f.shape == (120, 20)
+
+    def test_block_informative(self, rng):
+        """Nearest-centroid accuracy well above chance."""
+        blocks = np.repeat(np.arange(4), 60)
+        f = svd_compressed_features(blocks, 24, rng=rng)
+        centroids = np.stack([f[blocks == b].mean(axis=0) for b in range(4)])
+        assigned = np.argmin(
+            np.linalg.norm(f[:, None, :] - centroids[None], axis=2), axis=1
+        )
+        assert np.mean(assigned == blocks) > 0.6
+
+
+class TestSmoothing:
+    def test_preserves_shape(self, rng):
+        g = ring_of_cliques(4, 5)
+        f = rng.standard_normal((20, 8))
+        out = smooth_features(g, f, hops=2)
+        assert out.shape == f.shape
+
+    def test_increases_edge_correlation(self, rng):
+        g = ring_of_cliques(6, 6)
+        f = rng.standard_normal((36, 4))
+        out = smooth_features(g, f, hops=2, alpha=0.7)
+        src = g.edge_sources()
+
+        def edge_corr(x):
+            a, b = x[src], x[g.indices]
+            return float(
+                np.mean(
+                    np.sum((a - a.mean(0)) * (b - b.mean(0)), axis=1)
+                    / (np.linalg.norm(a - a.mean(0), axis=1) * np.linalg.norm(b - b.mean(0), axis=1) + 1e-12)
+                )
+            )
+
+        assert edge_corr(out) > edge_corr(f)
+
+    def test_zero_hops_identity(self, rng):
+        g = ring_of_cliques(3, 4)
+        f = rng.standard_normal((12, 3))
+        assert np.array_equal(smooth_features(g, f, hops=0), f)
+
+    def test_shape_mismatch_raises(self, rng):
+        g = ring_of_cliques(3, 4)
+        with pytest.raises(ValueError, match="row count"):
+            smooth_features(g, rng.standard_normal((5, 3)))
+
+
+class TestLabels:
+    def test_single_label_range(self, rng):
+        blocks = rng.integers(0, 10, size=200)
+        y = single_label_from_blocks(blocks, 7, rng=rng)
+        assert y.shape == (200,)
+        assert y.min() >= 0 and y.max() < 7
+
+    def test_single_label_deterministic_mapping(self, rng):
+        blocks = np.array([0, 1, 2, 7, 8])
+        y = single_label_from_blocks(blocks, 7, flip_prob=0.0, rng=rng)
+        assert np.array_equal(y, [0, 1, 2, 0, 1])
+
+    def test_single_label_flips(self):
+        blocks = np.zeros(5000, dtype=np.int64)
+        y = single_label_from_blocks(
+            blocks, 10, flip_prob=0.5, rng=np.random.default_rng(0)
+        )
+        assert 0.3 < np.mean(y != 0) < 0.6
+
+    def test_multi_label_shape_and_density(self, rng):
+        blocks = rng.integers(0, 6, size=300)
+        y = multi_label_from_blocks(blocks, 20, labels_per_block=5, flip_prob=0.0, rng=rng)
+        assert y.shape == (300, 20)
+        assert set(np.unique(y)) <= {0.0, 1.0}
+        assert np.allclose(y.sum(axis=1), 5)
+
+    def test_multi_label_same_block_same_labels(self, rng):
+        blocks = np.array([2, 2, 2, 3])
+        y = multi_label_from_blocks(blocks, 10, flip_prob=0.0, rng=rng)
+        assert np.array_equal(y[0], y[1])
+        assert np.array_equal(y[1], y[2])
+        assert not np.array_equal(y[0], y[3]) or True  # may coincide rarely
+
+    def test_multi_label_flip_noise(self):
+        blocks = np.zeros(2000, dtype=np.int64)
+        y = multi_label_from_blocks(
+            blocks, 10, labels_per_block=3, flip_prob=0.2,
+            rng=np.random.default_rng(3),
+        )
+        base = multi_label_from_blocks(
+            blocks, 10, labels_per_block=3, flip_prob=0.0,
+            rng=np.random.default_rng(3),
+        )
+        flip_rate = float(np.mean(y != base))
+        assert 0.1 < flip_rate < 0.3

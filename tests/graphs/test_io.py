@@ -1,0 +1,71 @@
+"""Tests for graph/dataset serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.io import (
+    load_dataset,
+    load_graph,
+    read_edge_list,
+    save_dataset,
+    save_graph,
+    write_edge_list,
+)
+
+
+class TestGraphNpz:
+    def test_roundtrip(self, medium_graph, tmp_path):
+        path = save_graph(medium_graph, tmp_path / "g")
+        assert path.suffix == ".npz"
+        loaded = load_graph(path)
+        assert np.array_equal(loaded.indptr, medium_graph.indptr)
+        assert np.array_equal(loaded.indices, medium_graph.indices)
+
+
+class TestDatasetNpz:
+    def test_roundtrip(self, ppi_small, tmp_path):
+        path = save_dataset(ppi_small, tmp_path / "ds")
+        loaded = load_dataset(path)
+        assert loaded.name == ppi_small.name
+        assert loaded.task == ppi_small.task
+        assert loaded.num_classes == ppi_small.num_classes
+        assert np.array_equal(loaded.graph.indices, ppi_small.graph.indices)
+        assert np.array_equal(loaded.features, ppi_small.features)
+        assert np.array_equal(loaded.labels, ppi_small.labels)
+        assert np.array_equal(loaded.train_idx, ppi_small.train_idx)
+
+    def test_single_label_roundtrip(self, reddit_small, tmp_path):
+        path = save_dataset(reddit_small, tmp_path / "rd")
+        loaded = load_dataset(path)
+        assert loaded.task == "single"
+        assert loaded.labels.ndim == 1
+
+
+class TestEdgeList:
+    def test_roundtrip(self, clique_ring, tmp_path):
+        path = write_edge_list(clique_ring, tmp_path / "edges.txt")
+        loaded = read_edge_list(path, num_vertices=clique_ring.num_vertices)
+        assert np.array_equal(loaded.indptr, clique_ring.indptr)
+        assert np.array_equal(loaded.indices, clique_ring.indices)
+
+    def test_undirected_writes_each_edge_once(self, triangle_graph, tmp_path):
+        path = write_edge_list(triangle_graph, tmp_path / "t.txt")
+        lines = [
+            l for l in path.read_text().splitlines() if not l.startswith("#")
+        ]
+        assert len(lines) == 3
+
+    def test_directed_writes_both(self, triangle_graph, tmp_path):
+        path = write_edge_list(triangle_graph, tmp_path / "t.txt", directed=True)
+        lines = [
+            l for l in path.read_text().splitlines() if not l.startswith("#")
+        ]
+        assert len(lines) == 6
+
+    def test_infers_vertex_count(self, tmp_path):
+        p = tmp_path / "e.txt"
+        p.write_text("0 1\n1 4\n")
+        g = read_edge_list(p)
+        assert g.num_vertices == 5

@@ -1,0 +1,74 @@
+"""Tests for spectral connectivity measures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.csr import edges_to_csr
+from repro.graphs.generators import ring_of_cliques
+from repro.graphs.spectral import (
+    estrada_index_proxy,
+    second_eigenvalue_normalized,
+    spectral_radius_normalized,
+    spectral_summary,
+)
+
+
+class TestSpectralRadius:
+    def test_stochastic_matrix_radius_one(self, clique_ring, medium_graph):
+        for g in (clique_ring, medium_graph):
+            assert spectral_radius_normalized(g) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestSecondEigenvalue:
+    def test_matches_dense_eig_small_graph(self, clique_ring):
+        from repro.propagation.spmm import MeanAggregator
+
+        m = MeanAggregator(clique_ring).dense()
+        eigs = np.sort(np.abs(np.linalg.eigvals(m)))[::-1]
+        ours = second_eigenvalue_normalized(clique_ring, iters=500)
+        assert ours == pytest.approx(eigs[1], abs=1e-3)
+
+    def test_complete_graph_small_gap_vs_ring(self):
+        """A clique mixes fast (small |lambda_2|); a long cycle mixes
+        slowly (|lambda_2| near 1)."""
+        clique = ring_of_cliques(1, 12)
+        cycle_edges = np.array([[i, (i + 1) % 30] for i in range(30)])
+        cycle = edges_to_csr(cycle_edges, 30)
+        lam_clique = second_eigenvalue_normalized(clique, iters=400)
+        lam_cycle = second_eigenvalue_normalized(cycle, iters=400)
+        assert lam_clique < 0.3
+        assert lam_cycle > 0.9
+
+    def test_disconnected_graph_lambda2_one(self):
+        """Two components: multiplicity-2 eigenvalue 1 => |lambda_2| = 1."""
+        edges = np.array([[0, 1], [1, 2], [0, 2], [3, 4], [4, 5], [3, 5]])
+        g = edges_to_csr(edges, 6)
+        assert second_eigenvalue_normalized(g, iters=400) == pytest.approx(
+            1.0, abs=1e-3
+        )
+
+    def test_zero_degree_rejected(self):
+        g = edges_to_csr(np.array([[0, 1]]), 3)
+        with pytest.raises(ValueError, match="min degree"):
+            second_eigenvalue_normalized(g)
+
+
+class TestEstrada:
+    def test_finite_and_size_monotone(self):
+        small = ring_of_cliques(2, 4)
+        large = ring_of_cliques(10, 4)
+        e_small = estrada_index_proxy(small)
+        e_large = estrada_index_proxy(large)
+        assert np.isfinite(e_small) and np.isfinite(e_large)
+
+
+class TestSummary:
+    def test_keys(self, clique_ring):
+        s = spectral_summary(clique_ring)
+        assert set(s) == {"spectral_radius", "second_eigenvalue", "estrada_proxy"}
+
+    def test_nan_for_zero_degree(self):
+        g = edges_to_csr(np.array([[0, 1]]), 3)
+        assert np.isnan(spectral_summary(g)["second_eigenvalue"])

@@ -1,0 +1,79 @@
+"""Tests for structural validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.csr import CSRGraph, edges_to_csr
+from repro.graphs.validate import ValidationError, validate_dataset, validate_graph
+
+
+class TestValidateGraph:
+    def test_clean_graph_passes(self, clique_ring):
+        assert validate_graph(clique_ring, require_min_degree=1) == []
+
+    def test_asymmetric_flagged(self):
+        g = edges_to_csr(np.array([[0, 1]]), 2, symmetrize=False)
+        problems = validate_graph(g, raise_on_error=False)
+        assert any("symmetric" in p for p in problems)
+        with pytest.raises(ValidationError, match="symmetric"):
+            validate_graph(g)
+
+    def test_min_degree_flagged(self):
+        g = edges_to_csr(np.array([[0, 1]]), 3)
+        problems = validate_graph(
+            g, require_min_degree=1, raise_on_error=False
+        )
+        assert any("min degree" in p for p in problems)
+
+    def test_self_loops_flagged(self):
+        g = edges_to_csr(np.array([[0, 0], [0, 1]]), 2)
+        problems = validate_graph(
+            g, forbid_self_loops=True, raise_on_error=False
+        )
+        assert any("self-loop" in p for p in problems)
+
+    def test_unsorted_neighbors_flagged(self):
+        g = CSRGraph(
+            indptr=np.array([0, 2, 2]),
+            indices=np.array([1, 0], dtype=np.int32),  # [1, 0] not sorted
+        )
+        problems = validate_graph(g, require_symmetric=False, raise_on_error=False)
+        assert any("sorted" in p for p in problems)
+
+    def test_error_carries_all_problems(self):
+        g = edges_to_csr(np.array([[0, 0]]), 3, symmetrize=False)
+        with pytest.raises(ValidationError) as exc:
+            validate_graph(g, require_min_degree=1, forbid_self_loops=True)
+        assert len(exc.value.problems) >= 2
+
+
+class TestValidateDataset:
+    def test_generated_datasets_pass(self, ppi_small, reddit_small):
+        assert validate_dataset(ppi_small) == []
+        assert validate_dataset(reddit_small) == []
+
+    def test_nonfinite_features_flagged(self, reddit_small):
+        from dataclasses import replace
+
+        feats = reddit_small.features.copy()
+        feats[0, 0] = np.nan
+        bad = replace(reddit_small, features=feats)
+        problems = validate_dataset(bad, raise_on_error=False)
+        assert any("non-finite" in p for p in problems)
+
+    def test_bad_multilabel_values_flagged(self, ppi_small):
+        from dataclasses import replace
+
+        labels = ppi_small.labels.copy()
+        labels[0, 0] = 0.5
+        bad = replace(ppi_small, labels=labels)
+        problems = validate_dataset(bad, raise_on_error=False)
+        assert any("0/1" in p for p in problems)
+
+    def test_roundtripped_dataset_passes(self, ppi_small, tmp_path):
+        from repro.graphs.io import load_dataset, save_dataset
+
+        path = save_dataset(ppi_small, tmp_path / "d")
+        assert validate_dataset(load_dataset(path)) == []

@@ -1,0 +1,86 @@
+"""Tests for activation functions: values, stability, gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import (
+    leaky_relu,
+    leaky_relu_grad,
+    log_softmax,
+    relu,
+    relu_grad,
+    sigmoid,
+    softmax,
+)
+
+
+class TestReLU:
+    def test_values(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        assert np.array_equal(relu(x), [0.0, 0.0, 3.0])
+
+    def test_grad_masks_negatives(self):
+        x = np.array([-1.0, 0.5, 2.0])
+        g = np.ones(3)
+        assert np.array_equal(relu_grad(x, g), [0.0, 1.0, 1.0])
+
+    def test_grad_zero_at_zero(self):
+        assert relu_grad(np.array([0.0]), np.array([1.0]))[0] == 0.0
+
+
+class TestLeakyReLU:
+    def test_values(self):
+        x = np.array([-2.0, 4.0])
+        out = leaky_relu(x, alpha=0.1)
+        assert out[0] == pytest.approx(-0.2)
+        assert out[1] == 4.0
+
+    def test_grad(self):
+        x = np.array([-1.0, 1.0])
+        g = leaky_relu_grad(x, np.ones(2), alpha=0.1)
+        assert np.allclose(g, [0.1, 1.0])
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        x = np.linspace(-5, 5, 21)
+        assert np.allclose(sigmoid(x) + sigmoid(-x), 1.0)
+
+    def test_extreme_values_no_overflow(self):
+        x = np.array([-1000.0, 1000.0])
+        out = sigmoid(x)
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(1.0, abs=1e-12)
+        assert np.all(np.isfinite(out))
+
+    def test_matches_naive_in_safe_range(self):
+        x = np.linspace(-20, 20, 101)
+        naive = 1.0 / (1.0 + np.exp(-x))
+        assert np.allclose(sigmoid(x), naive, atol=1e-12)
+
+
+class TestSoftmax:
+    def test_normalization(self, rng):
+        x = rng.standard_normal((10, 7))
+        p = softmax(x, axis=1)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert np.all(p >= 0)
+
+    def test_shift_invariance(self, rng):
+        x = rng.standard_normal((4, 5))
+        assert np.allclose(softmax(x), softmax(x + 100.0))
+
+    def test_extreme_values(self):
+        x = np.array([[1e4, 0.0, -1e4]])
+        p = softmax(x)
+        assert np.all(np.isfinite(p))
+        assert p[0, 0] == pytest.approx(1.0)
+
+    def test_log_softmax_consistent(self, rng):
+        x = rng.standard_normal((6, 9))
+        assert np.allclose(log_softmax(x), np.log(softmax(x)), atol=1e-12)

@@ -1,0 +1,108 @@
+"""Tests for loss functions: values, gradients, stability, prediction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import max_relative_error, numerical_gradient
+from repro.nn.loss import SigmoidCrossEntropy, SoftmaxCrossEntropy, make_loss
+
+
+class TestSoftmaxCrossEntropy:
+    def test_uniform_logits(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.zeros((4, 5))
+        targets = np.array([0, 1, 2, 3])
+        assert loss.forward(logits, targets) == pytest.approx(np.log(5))
+
+    def test_perfect_prediction_low_loss(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.full((3, 4), -50.0)
+        targets = np.array([1, 2, 0])
+        logits[np.arange(3), targets] = 50.0
+        assert loss.forward(logits, targets) < 1e-8
+
+    def test_gradient_matches_numeric(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.standard_normal((6, 5))
+        targets = rng.integers(0, 5, size=6)
+        analytic = loss.backward(logits, targets)
+        idx, numeric = numerical_gradient(
+            lambda: loss.forward(logits, targets), logits, sample=15, rng=rng
+        )
+        assert max_relative_error(analytic.reshape(-1)[idx], numeric) < 1e-5
+
+    def test_gradient_rows_sum_zero(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.standard_normal((8, 4))
+        targets = rng.integers(0, 4, size=8)
+        g = loss.backward(logits, targets)
+        assert np.allclose(g.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_extreme_logits_finite(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[1e4, -1e4, 0.0]])
+        assert np.isfinite(loss.forward(logits, np.array([0])))
+
+    def test_predict(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[0.1, 3.0, -1.0], [2.0, 0.0, 0.5]])
+        assert np.array_equal(loss.predict(logits), [1, 0])
+
+    def test_shape_validation(self):
+        loss = SoftmaxCrossEntropy()
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros(5), np.zeros(5, dtype=int))
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros((5, 3)), np.zeros(4, dtype=int))
+
+
+class TestSigmoidCrossEntropy:
+    def test_manual_value(self):
+        loss = SigmoidCrossEntropy()
+        logits = np.array([[0.0, 0.0]])
+        targets = np.array([[1.0, 0.0]])
+        # Each element contributes log(2); summed over 2 classes.
+        assert loss.forward(logits, targets) == pytest.approx(2 * np.log(2))
+
+    def test_perfect_prediction_low_loss(self):
+        loss = SigmoidCrossEntropy()
+        logits = np.array([[50.0, -50.0]])
+        targets = np.array([[1.0, 0.0]])
+        assert loss.forward(logits, targets) < 1e-8
+
+    def test_gradient_matches_numeric(self, rng):
+        loss = SigmoidCrossEntropy()
+        logits = rng.standard_normal((5, 7))
+        targets = (rng.random((5, 7)) < 0.3).astype(np.float64)
+        analytic = loss.backward(logits, targets)
+        idx, numeric = numerical_gradient(
+            lambda: loss.forward(logits, targets), logits, sample=15, rng=rng
+        )
+        assert max_relative_error(analytic.reshape(-1)[idx], numeric) < 1e-5
+
+    def test_extreme_logits_finite(self):
+        loss = SigmoidCrossEntropy()
+        logits = np.array([[1e4, -1e4]])
+        targets = np.array([[0.0, 1.0]])
+        val = loss.forward(logits, targets)
+        assert np.isfinite(val) and val > 1e3  # hugely wrong predictions
+
+    def test_predict_threshold(self):
+        loss = SigmoidCrossEntropy()
+        logits = np.array([[1.0, -1.0, 0.5]])
+        assert np.array_equal(loss.predict(logits), [[1.0, 0.0, 1.0]])
+
+    def test_shape_validation(self):
+        loss = SigmoidCrossEntropy()
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros((3, 2)), np.zeros((3, 4)))
+
+
+class TestMakeLoss:
+    def test_factory(self):
+        assert isinstance(make_loss("single"), SoftmaxCrossEntropy)
+        assert isinstance(make_loss("multi"), SigmoidCrossEntropy)
+        with pytest.raises(ValueError):
+            make_loss("regression")

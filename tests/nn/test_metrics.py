@@ -1,0 +1,94 @@
+"""Tests for F1 metrics against hand-computed values."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.metrics import accuracy, confusion_counts, f1_macro, f1_micro
+
+
+class TestConfusionCounts:
+    def test_single_label(self):
+        y_true = np.array([0, 1, 1, 2])
+        y_pred = np.array([0, 1, 2, 2])
+        tp, fp, fn = confusion_counts(y_true, y_pred, 3)
+        assert np.array_equal(tp, [1, 1, 1])
+        assert np.array_equal(fp, [0, 0, 1])
+        assert np.array_equal(fn, [0, 1, 0])
+
+    def test_multi_label(self):
+        y_true = np.array([[1, 0], [1, 1]])
+        y_pred = np.array([[1, 1], [0, 1]])
+        tp, fp, fn = confusion_counts(y_true, y_pred)
+        assert np.array_equal(tp, [1, 1])
+        assert np.array_equal(fp, [0, 1])
+        assert np.array_equal(fn, [1, 0])
+
+
+class TestF1Micro:
+    def test_perfect(self):
+        y = np.array([0, 1, 2, 1])
+        assert f1_micro(y, y, 3) == 1.0
+
+    def test_all_wrong(self):
+        y_true = np.array([0, 0])
+        y_pred = np.array([1, 1])
+        assert f1_micro(y_true, y_pred, 2) == 0.0
+
+    def test_hand_computed_single(self):
+        y_true = np.array([0, 1, 1, 2])
+        y_pred = np.array([0, 1, 2, 2])
+        # tp=3, fp=1, fn=1 -> f1 = 2*3/(6+1+1)
+        assert f1_micro(y_true, y_pred, 3) == pytest.approx(6 / 8)
+
+    def test_hand_computed_multi(self):
+        y_true = np.array([[1, 0, 1], [0, 1, 0]])
+        y_pred = np.array([[1, 1, 0], [0, 1, 0]])
+        # tp=2, fp=1, fn=1
+        assert f1_micro(y_true, y_pred) == pytest.approx(4 / 6)
+
+    def test_single_label_micro_equals_accuracy(self, rng):
+        """For single-label problems where every row gets exactly one
+        prediction, micro-F1 reduces to accuracy."""
+        y_true = rng.integers(0, 5, size=100)
+        y_pred = rng.integers(0, 5, size=100)
+        assert f1_micro(y_true, y_pred, 5) == pytest.approx(
+            accuracy(y_true, y_pred)
+        )
+
+    def test_empty_predictions(self):
+        y_true = np.zeros((3, 4))
+        y_pred = np.zeros((3, 4))
+        assert f1_micro(y_true, y_pred) == 0.0
+
+
+class TestF1Macro:
+    def test_perfect(self):
+        y = np.array([[1, 0], [0, 1]])
+        assert f1_macro(y, y) == 1.0
+
+    def test_hand_computed(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 0, 0, 1])
+        # class0: tp=2 fp=1 fn=0 -> 4/5; class1: tp=1 fp=0 fn=1 -> 2/3
+        assert f1_macro(y_true, y_pred, 2) == pytest.approx((4 / 5 + 2 / 3) / 2)
+
+    def test_macro_penalizes_rare_class_errors_more(self):
+        # 99 of class 0 right, 1 of class 1 wrong.
+        y_true = np.array([0] * 99 + [1])
+        y_pred = np.array([0] * 100)
+        assert f1_micro(y_true, y_pred, 2) > f1_macro(y_true, y_pred, 2)
+
+
+class TestAccuracy:
+    def test_single(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 2, 0])) == pytest.approx(2 / 3)
+
+    def test_multi_exact_match(self):
+        y_true = np.array([[1, 0], [0, 1]])
+        y_pred = np.array([[1, 0], [1, 1]])
+        assert accuracy(y_true, y_pred) == 0.5
+
+    def test_empty(self):
+        assert accuracy(np.array([]), np.array([])) == 0.0

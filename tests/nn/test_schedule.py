@@ -1,0 +1,92 @@
+"""Tests for learning-rate schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nn.optim import Adam
+from repro.nn.schedule import (
+    ConstantLR,
+    CosineAnnealingLR,
+    StepDecayLR,
+    WarmupLR,
+    apply_schedule,
+)
+
+
+class TestConstant:
+    def test_value(self):
+        s = ConstantLR(0.01)
+        assert s(0) == s(1000) == 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantLR(0.0)
+
+
+class TestStepDecay:
+    def test_halving(self):
+        s = StepDecayLR(0.1, step_size=10, gamma=0.5)
+        assert s(0) == 0.1
+        assert s(9) == 0.1
+        assert s(10) == pytest.approx(0.05)
+        assert s(25) == pytest.approx(0.025)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepDecayLR(0.1, step_size=0)
+
+
+class TestCosine:
+    def test_endpoints(self):
+        s = CosineAnnealingLR(0.1, total_steps=100, min_lr=0.01)
+        assert s(0) == pytest.approx(0.1)
+        assert s(100) == pytest.approx(0.01)
+        assert s(1000) == pytest.approx(0.01)  # clamped past the horizon
+
+    def test_midpoint(self):
+        s = CosineAnnealingLR(0.2, total_steps=10, min_lr=0.0)
+        assert s(5) == pytest.approx(0.1)
+
+    def test_monotone_decreasing(self):
+        s = CosineAnnealingLR(1.0, total_steps=50)
+        vals = [s(i) for i in range(51)]
+        assert all(b <= a + 1e-12 for a, b in zip(vals, vals[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(0.1, total_steps=10, min_lr=0.2)
+
+
+class TestWarmup:
+    def test_ramp_then_delegate(self):
+        s = WarmupLR(ConstantLR(0.1), warmup_steps=5)
+        assert s(0) == pytest.approx(0.02)
+        assert s(4) == pytest.approx(0.1)
+        assert s(10) == 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WarmupLR(ConstantLR(0.1), warmup_steps=0)
+
+
+class TestApply:
+    def test_sets_optimizer_lr(self):
+        opt = Adam(lr=1.0)
+        lr = apply_schedule(opt, StepDecayLR(0.1, step_size=5), step=7)
+        assert lr == pytest.approx(0.05)
+        assert opt.lr == pytest.approx(0.05)
+
+    def test_training_with_schedule_converges(self):
+        """End-to-end: cosine-annealed Adam still solves the quadratic."""
+        import numpy as np
+
+        params = {"x": np.zeros(3)}
+        grads = {"x": np.zeros(3)}
+        opt = Adam(lr=0.2)
+        schedule = CosineAnnealingLR(0.2, total_steps=300, min_lr=0.001)
+        for step in range(300):
+            apply_schedule(opt, schedule, step)
+            grads["x"][...] = 2 * (params["x"] - 3.0)
+            opt.step([(params, grads)])
+        assert np.allclose(params["x"], 3.0, atol=1e-2)

@@ -1,0 +1,76 @@
+"""Tests for execution traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.trace import ExecutionTrace, PhaseRecord
+
+
+class TestPhaseRecord:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseRecord("sampling", -1.0)
+
+
+class TestExecutionTrace:
+    def test_totals(self):
+        t = ExecutionTrace()
+        t.record("a", 1.0)
+        t.record("b", 2.0)
+        t.record("a", 3.0)
+        assert t.total() == 6.0
+        assert t.total("a") == 4.0
+        assert t.totals_by_phase() == {"a": 4.0, "b": 2.0}
+
+    def test_breakdown_sums_to_one(self):
+        t = ExecutionTrace()
+        t.record("a", 1.0)
+        t.record("b", 3.0)
+        b = t.breakdown()
+        assert sum(b.values()) == pytest.approx(1.0)
+        assert b["b"] == pytest.approx(0.75)
+
+    def test_breakdown_empty(self):
+        assert ExecutionTrace().breakdown() == {}
+
+    def test_phases_order_of_first_appearance(self):
+        t = ExecutionTrace()
+        t.record("z", 1.0)
+        t.record("a", 1.0)
+        t.record("z", 1.0)
+        assert t.phases() == ["z", "a"]
+
+    def test_merge(self):
+        a = ExecutionTrace()
+        a.record("x", 1.0)
+        b = ExecutionTrace()
+        b.record("y", 2.0)
+        a.merge(b)
+        assert a.total() == 3.0
+
+
+class TestExport:
+    def test_csv_roundtrip(self, tmp_path):
+        t = ExecutionTrace()
+        t.record("sampling", 1.5, 0)
+        t.record("weight_application", 2.25, 0)
+        t.record("sampling", 0.5, 1)
+        path = tmp_path / "trace.csv"
+        t.to_csv(path)
+        loaded = ExecutionTrace.from_csv(path)
+        assert loaded.totals_by_phase() == t.totals_by_phase()
+        assert [r.iteration for r in loaded.records] == [0, 0, 1]
+
+    def test_json_export(self, tmp_path):
+        import json
+
+        t = ExecutionTrace()
+        t.record("a", 3.0)
+        t.record("b", 1.0)
+        path = tmp_path / "trace.json"
+        t.to_json(path)
+        doc = json.loads(path.read_text())
+        assert doc["totals_by_phase"] == {"a": 3.0, "b": 1.0}
+        assert doc["breakdown"]["a"] == pytest.approx(0.75)
+        assert len(doc["records"]) == 2

@@ -1,0 +1,125 @@
+"""Tests for the cache simulator and the Theorem-2 mechanism check."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import DCSBMParams, dcsbm_graph
+from repro.propagation.cache_model import (
+    CacheSim,
+    propagation_trace,
+    simulate_propagation_misses,
+)
+from repro.propagation.partition_model import theorem2_plan
+
+
+class TestCacheSim:
+    def test_compulsory_misses_only_when_fits(self):
+        sim = CacheSim(64 * 64, line_bytes=64, ways=8)  # 64 lines
+        addrs = np.repeat(np.arange(16) * 64, 4)  # 16 lines, touched 4x
+        sim.access(addrs)
+        assert sim.misses == 16  # one compulsory miss per line
+        assert sim.accesses == 64
+
+    def test_thrashing_when_working_set_exceeds_capacity(self):
+        sim = CacheSim(8 * 64, line_bytes=64, ways=2)  # 8 lines
+        # Cycle through 64 lines twice: everything evicted before reuse.
+        addrs = np.tile(np.arange(64) * 64, 2)
+        sim.access(addrs)
+        assert sim.stats.miss_rate > 0.9
+
+    def test_lru_keeps_hot_line(self):
+        sim = CacheSim(2 * 64, line_bytes=64, ways=2)  # one set of 2 ways
+        # Touch A, B, A, C, A: A stays resident (LRU evicts B then C).
+        addrs = np.array([0, 64, 0, 128, 0]) + 0
+        sim.access(addrs)
+        # Misses: A, B, C = 3; the repeat As hit.
+        assert sim.misses == 3
+
+    def test_same_line_hits(self):
+        sim = CacheSim(64 * 64)
+        sim.access(np.array([0, 8, 16, 56]))  # all within one 64B line
+        assert sim.misses == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheSim(0)
+        with pytest.raises(ValueError):
+            CacheSim(64, line_bytes=64, ways=8)
+
+
+class TestPropagationTrace:
+    def test_trace_length(self, clique_ring):
+        trace = propagation_trace(clique_ring, f=4, q=2)
+        assert trace.shape[0] == clique_ring.num_edges_directed * 4
+
+    def test_q_validation(self, clique_ring):
+        with pytest.raises(ValueError):
+            propagation_trace(clique_ring, f=4, q=8)
+
+
+class TestTheorem2Mechanism:
+    @pytest.fixture(scope="class")
+    def dense_graph(self):
+        params = DCSBMParams(num_vertices=300, num_blocks=2, avg_degree=16.0)
+        g, _ = dcsbm_graph(params, rng=np.random.default_rng(0))
+        return g
+
+    @staticmethod
+    def _theorem2_q(graph, f: int, cache_bytes: int) -> int:
+        """Q chosen against half the capacity and rounded up to a
+        power-of-two divisor of f.
+
+        Two practicalities on top of Theorem 2's idealized bound: (1) LRU
+        under a cyclic scan of a working set exactly at capacity
+        degenerates to zero reuse (the classic scanning pathology), so
+        implementations leave slack; (2) ragged chunk widths straddle
+        cache lines and waste spatial locality, so implementations round Q
+        to divide the feature dimension evenly.
+        """
+        plan = theorem2_plan(
+            n=graph.num_vertices,
+            d=graph.average_degree,
+            f=f,
+            cores=1,
+            cache_bytes=cache_bytes // 2,
+        )
+        q = 1
+        while q < min(plan.q, f):
+            q *= 2
+        return min(q, f)
+
+    def test_partitioning_cuts_miss_rate(self, dense_graph):
+        """The actual mechanism of Algorithm 6: once the per-round working
+        set is cache-resident, gathers after the first per vertex hit, and
+        the miss rate collapses relative to the unpartitioned pass.
+
+        Fully-associative cache: the theorem reasons about capacity;
+        power-of-two row strides would otherwise add conflict misses the
+        model does not (and need not) capture.
+        """
+        f = 64
+        cache_bytes = 16 * 1024  # deliberately small vs 300*64*8 = 150 KB
+        q = self._theorem2_q(dense_graph, f, cache_bytes)
+        full_ways = cache_bytes // 64
+        sim_unpart = CacheSim(cache_bytes, line_bytes=64, ways=full_ways)
+        sim_unpart.access(propagation_trace(dense_graph, f=f, q=1))
+        sim_part = CacheSim(cache_bytes, line_bytes=64, ways=full_ways)
+        sim_part.access(propagation_trace(dense_graph, f=f, q=q))
+        assert sim_part.stats.miss_rate < 0.5 * sim_unpart.stats.miss_rate
+
+    def test_partitioned_near_compulsory_floor(self, dense_graph):
+        """With cache-resident rounds, misses approach the compulsory
+        floor: roughly one miss per distinct feature line per round."""
+        f = 64
+        cache_bytes = 16 * 1024
+        q = self._theorem2_q(dense_graph, f, cache_bytes)
+        sim = CacheSim(cache_bytes, line_bytes=64, ways=cache_bytes // 64)
+        sim.access(propagation_trace(dense_graph, f=f, q=q))
+        n = dense_graph.num_vertices
+        # Per round: each vertex's chunk spans <= ceil(width*8/64) + 1 lines.
+        width = f // q
+        lines_per_round = n * (width * 8 // 64 + 2)
+        compulsory = q * lines_per_round
+        assert sim.misses <= 2.0 * compulsory

@@ -1,0 +1,106 @@
+"""Additional property-based tests: alias tables, partitioners, spmm."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import DCSBMParams, dcsbm_graph
+from repro.graphs.partition import (
+    bfs_partition,
+    greedy_edge_partition,
+    random_partition,
+)
+from repro.propagation.spmm import MeanAggregator
+from repro.sampling.alias import AliasTable
+
+
+@st.composite
+def small_graphs(draw):
+    n = draw(st.integers(20, 120))
+    seed = draw(st.integers(0, 10**6))
+    params = DCSBMParams(
+        num_vertices=n,
+        num_blocks=draw(st.integers(1, 4)),
+        avg_degree=draw(st.floats(2.0, 10.0)),
+    )
+    graph, _ = dcsbm_graph(params, rng=np.random.default_rng(seed))
+    return graph, seed
+
+
+class TestAliasProperties:
+    @given(
+        st.lists(st.floats(0.01, 100.0), min_size=1, max_size=40),
+        st.integers(0, 10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_empirical_matches_target(self, weights, seed):
+        """Alias sampling converges to the target distribution: total
+        variation distance shrinks to sampling noise."""
+        w = np.asarray(weights)
+        table = AliasTable(w)
+        rng = np.random.default_rng(seed)
+        draws = table.sample(rng, size=20_000)
+        freq = np.bincount(draws, minlength=w.size) / 20_000
+        target = w / w.sum()
+        tv = 0.5 * np.abs(freq - target).sum()
+        assert tv < 0.05
+
+    @given(
+        st.lists(st.floats(0.0, 10.0), min_size=2, max_size=20),
+        st.integers(0, 10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_support_respected(self, weights, seed):
+        w = np.asarray(weights)
+        assume(w.sum() > 0)
+        table = AliasTable(w)
+        draws = table.sample(np.random.default_rng(seed), size=5000)
+        zero = np.flatnonzero(w == 0)
+        assert not np.any(np.isin(draws, zero))
+
+
+class TestPartitionerProperties:
+    @given(small_graphs(), st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_all_partitioners_cover_and_balance(self, case, parts):
+        graph, seed = case
+        assume(parts <= graph.num_vertices)
+        rng = np.random.default_rng(seed)
+        for fn in (random_partition, bfs_partition, greedy_edge_partition):
+            a = fn(graph, parts, rng=rng)
+            assert a.shape[0] == graph.num_vertices
+            assert a.min() >= 0 and a.max() < parts
+            counts = np.bincount(a, minlength=parts)
+            # Near-balance: no partition more than 60% above the mean
+            # (greedy's slack default is 1.1; BFS slices are exact).
+            assert counts.max() <= 1.6 * graph.num_vertices / parts + 1
+
+
+class TestSpmmProperties:
+    @given(small_graphs(), st.integers(1, 6), st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_linearity(self, case, f, seed):
+        """Aggregation is linear: M(a x + b y) == a Mx + b My."""
+        graph, _ = case
+        rng = np.random.default_rng(seed)
+        agg = MeanAggregator(graph)
+        x = rng.standard_normal((graph.num_vertices, f))
+        y = rng.standard_normal((graph.num_vertices, f))
+        a, b = rng.standard_normal(2)
+        lhs = agg.forward(a * x + b * y)
+        rhs = a * agg.forward(x) + b * agg.forward(y)
+        assert np.allclose(lhs, rhs, atol=1e-9)
+
+    @given(small_graphs(), st.integers(1, 6), st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_row_stochastic_bound(self, case, f, seed):
+        """Mean aggregation never exceeds the max feature value."""
+        graph, _ = case
+        rng = np.random.default_rng(seed)
+        agg = MeanAggregator(graph)
+        x = rng.random((graph.num_vertices, f))
+        out = agg.forward(x)
+        assert out.max(initial=0.0) <= x.max() + 1e-12
+        assert out.min(initial=0.0) >= 0.0 - 1e-12

@@ -1,0 +1,94 @@
+"""Property-based tests for NN kernels: bounds, normalization, stability."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn.activations import relu, sigmoid, softmax
+from repro.nn.loss import SigmoidCrossEntropy, SoftmaxCrossEntropy
+from repro.nn.metrics import f1_macro, f1_micro
+
+finite_matrices = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 8), st.integers(1, 8)),
+    elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+)
+
+
+class TestActivationProperties:
+    @given(finite_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_relu_idempotent_nonnegative(self, x):
+        out = relu(x)
+        assert np.all(out >= 0)
+        assert np.array_equal(relu(out), out)
+
+    @given(finite_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_sigmoid_in_unit_interval(self, x):
+        out = sigmoid(x)
+        assert np.all(out >= 0) and np.all(out <= 1)
+        assert np.all(np.isfinite(out))
+
+    @given(finite_matrices)
+    @settings(max_examples=50, deadline=None)
+    def test_softmax_is_distribution(self, x):
+        p = softmax(x, axis=1)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert np.all(p >= 0)
+
+
+class TestLossProperties:
+    @given(finite_matrices, st.integers(0, 10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_softmax_ce_nonnegative(self, logits, seed):
+        rng = np.random.default_rng(seed)
+        targets = rng.integers(0, logits.shape[1], size=logits.shape[0])
+        loss = SoftmaxCrossEntropy()
+        assert loss.forward(logits, targets) >= -1e-12
+
+    @given(finite_matrices, st.integers(0, 10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_sigmoid_ce_nonnegative(self, logits, seed):
+        rng = np.random.default_rng(seed)
+        targets = (rng.random(logits.shape) < 0.5).astype(np.float64)
+        loss = SigmoidCrossEntropy()
+        assert loss.forward(logits, targets) >= -1e-12
+
+    @given(finite_matrices, st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_ce_gradient_rows_sum_zero(self, logits, seed):
+        rng = np.random.default_rng(seed)
+        targets = rng.integers(0, logits.shape[1], size=logits.shape[0])
+        g = SoftmaxCrossEntropy().backward(logits, targets)
+        assert np.allclose(g.sum(axis=1), 0.0, atol=1e-10)
+
+
+class TestMetricProperties:
+    @given(
+        st.integers(1, 50),
+        st.integers(2, 10),
+        st.integers(0, 10**6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_f1_bounds_and_perfect(self, n, c, seed):
+        rng = np.random.default_rng(seed)
+        y_true = rng.integers(0, c, size=n)
+        y_pred = rng.integers(0, c, size=n)
+        for metric in (f1_micro, f1_macro):
+            v = metric(y_true, y_pred, c)
+            assert 0.0 <= v <= 1.0
+            assert metric(y_true, y_true, c) == 1.0
+
+    @given(st.integers(1, 30), st.integers(2, 8), st.integers(0, 10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_f1_multilabel_bounds(self, n, c, seed):
+        rng = np.random.default_rng(seed)
+        y_true = (rng.random((n, c)) < 0.4).astype(np.float64)
+        y_pred = (rng.random((n, c)) < 0.4).astype(np.float64)
+        assert 0.0 <= f1_micro(y_true, y_pred) <= 1.0
+        if y_true.sum() > 0:
+            assert f1_micro(y_true, y_true) == 1.0

@@ -1,0 +1,68 @@
+"""Property-based tests for samplers over random graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import DCSBMParams, dcsbm_graph, ensure_min_degree
+from repro.sampling.dashboard import DashboardFrontierSampler
+from repro.sampling.frontier import FrontierSampler
+
+
+@st.composite
+def graphs_and_budgets(draw):
+    n = draw(st.integers(60, 250))
+    avg_deg = draw(st.floats(2.0, 12.0))
+    seed = draw(st.integers(0, 10**6))
+    params = DCSBMParams(
+        num_vertices=n,
+        num_blocks=draw(st.integers(1, 5)),
+        avg_degree=avg_deg,
+        mixing=draw(st.floats(0.0, 1.0)),
+    )
+    graph, _ = dcsbm_graph(params, rng=np.random.default_rng(seed))
+    graph = ensure_min_degree(graph, 1, rng=np.random.default_rng(seed + 1))
+    m = draw(st.integers(2, max(n // 5, 3)))
+    budget = draw(st.integers(m, max(n // 2, m)))
+    return graph, m, budget, seed
+
+
+class TestSamplerProperties:
+    @given(graphs_and_budgets())
+    @settings(max_examples=30, deadline=None)
+    def test_frontier_budget_and_induction(self, case):
+        graph, m, budget, seed = case
+        sampler = FrontierSampler(graph, frontier_size=m, budget=budget)
+        sub = sampler.sample(np.random.default_rng(seed))
+        assert m <= sub.num_vertices or budget == m
+        assert sub.num_vertices <= budget
+        assert np.all(np.diff(sub.vertex_map) > 0)
+        assert sub.graph.is_symmetric()
+
+    @given(graphs_and_budgets())
+    @settings(max_examples=30, deadline=None)
+    def test_dashboard_budget_and_induction(self, case):
+        graph, m, budget, seed = case
+        sampler = DashboardFrontierSampler(
+            graph, frontier_size=m, budget=budget, eta=2.0
+        )
+        sub = sampler.sample(np.random.default_rng(seed))
+        assert sub.num_vertices <= budget
+        assert sub.graph.is_symmetric()
+        assert sub.stats["pops"] == budget - m
+
+    @given(graphs_and_budgets(), st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_dashboard_with_degree_cap_never_crashes(self, case, cap):
+        graph, m, budget, seed = case
+        sampler = DashboardFrontierSampler(
+            graph,
+            frontier_size=m,
+            budget=budget,
+            eta=1.5,
+            max_entries_per_vertex=cap,
+        )
+        sub = sampler.sample(np.random.default_rng(seed))
+        assert sub.num_vertices <= budget

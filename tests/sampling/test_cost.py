@@ -1,0 +1,128 @@
+"""Tests for the sampler cost model: Eq. 2, Theorem 1, simulated time."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel.machine import xeon_40core
+from repro.sampling.cost import (
+    probe_rounds_expected,
+    sampler_cost_eq2,
+    serial_sampler_cost,
+    simulated_sampler_time,
+    theorem1_max_processors,
+    theorem1_speedup_bound,
+)
+from repro.sampling.dashboard import DashboardFrontierSampler
+
+
+class TestProbeRounds:
+    def test_single_probe_geometric(self):
+        assert probe_rounds_expected(0.5, 1) == pytest.approx(2.0)
+        assert probe_rounds_expected(1.0, 1) == 1.0
+
+    def test_more_probes_fewer_rounds(self):
+        r = 1 / 3
+        vals = [probe_rounds_expected(r, p) for p in (1, 2, 4, 8)]
+        assert all(b < a for a, b in zip(vals, vals[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            probe_rounds_expected(0.0, 1)
+        with pytest.raises(ValueError):
+            probe_rounds_expected(0.5, 0)
+
+
+class TestEq2:
+    def test_serial_closed_form(self):
+        """At p=1 the probe term reduces to eta."""
+        n, m, d, eta = 1000, 100, 20.0, 2.0
+        expected = (eta + (4 + 3 / (eta - 1)) * d) * (n - m)
+        assert serial_sampler_cost(n=n, m=m, d=d, eta=eta) == pytest.approx(expected)
+
+    def test_cost_decreases_with_p(self):
+        costs = [
+            sampler_cost_eq2(n=1000, m=100, d=20.0, eta=2.0, p=p)
+            for p in (1, 2, 4, 8, 16)
+        ]
+        assert all(b < a for a, b in zip(costs, costs[1:]))
+
+    def test_probe_floor(self):
+        """The probe term cannot drop below one round: cost(p) is bounded
+        below by (n - m) * COSTrand."""
+        c = sampler_cost_eq2(n=1000, m=100, d=20.0, eta=2.0, p=10**6)
+        assert c >= (1000 - 100) * 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sampler_cost_eq2(n=10, m=20, d=5.0, eta=2.0, p=1)
+        with pytest.raises(ValueError):
+            sampler_cost_eq2(n=20, m=10, d=5.0, eta=1.0, p=1)
+
+
+class TestTheorem1:
+    def test_max_processors(self):
+        # eps=0.5, eta=3: p_max = 0.5*d*(4+1.5)-3 = 2.75d - 3
+        assert theorem1_max_processors(d=20.0, eta=3.0, epsilon=0.5) == pytest.approx(
+            0.5 * 20 * 5.5 - 3
+        )
+
+    def test_bound_inside_range(self):
+        assert theorem1_speedup_bound(p=10, d=20.0, eta=3.0, epsilon=0.5) == pytest.approx(
+            10 / 1.5
+        )
+
+    def test_bound_outside_range_none(self):
+        assert theorem1_speedup_bound(p=1000, d=20.0, eta=3.0, epsilon=0.5) is None
+
+    def test_eq2_actually_meets_the_guarantee(self):
+        """The model speedup is >= p/(1+eps) for all valid p — verifying
+        the theorem against its own cost model."""
+        d, eta, eps = 30.0, 3.0, 0.5
+        p_max = int(theorem1_max_processors(d=d, eta=eta, epsilon=eps))
+        serial = sampler_cost_eq2(n=2000, m=200, d=d, eta=eta, p=1)
+        for p in range(1, p_max + 1):
+            speedup = serial / sampler_cost_eq2(n=2000, m=200, d=d, eta=eta, p=p)
+            assert speedup >= p / (1 + eps) - 1e-9, f"violated at p={p}"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theorem1_max_processors(d=10.0, eta=2.0, epsilon=0.0)
+
+
+class TestSimulatedTime:
+    @pytest.fixture
+    def stats(self, medium_graph):
+        s = DashboardFrontierSampler(medium_graph, frontier_size=30, budget=200)
+        return s.sample(np.random.default_rng(0)).stats
+
+    def test_avx_speedup_in_plausible_band(self, stats):
+        """Paper reports ~4x average AVX gain (Figure 4B shows 4-8)."""
+        m = xeon_40core()
+        t1 = simulated_sampler_time(stats, m, p_intra=1)
+        t8 = simulated_sampler_time(stats, m, p_intra=8)
+        assert 2.0 <= t1 / t8 <= 8.0
+
+    def test_contention_slows(self, stats):
+        m = xeon_40core()
+        t_free = simulated_sampler_time(stats, m, p_intra=8, contention_factor=1.0)
+        t_busy = simulated_sampler_time(stats, m, p_intra=8, contention_factor=2.0)
+        assert t_busy > t_free
+
+    def test_matches_eq2_order_of_magnitude(self, stats, medium_graph):
+        """The measured-run conversion and the closed form agree within a
+        small constant factor."""
+        m = xeon_40core()
+        measured = simulated_sampler_time(stats, m, p_intra=1)
+        predicted = sampler_cost_eq2(
+            n=200, m=30, d=medium_graph.average_degree, eta=2.0, p=1
+        )
+        assert 0.3 <= measured / predicted <= 3.0
+
+    def test_validation(self, stats):
+        m = xeon_40core()
+        with pytest.raises(ValueError):
+            simulated_sampler_time(stats, m, p_intra=0)
+        with pytest.raises(ValueError):
+            simulated_sampler_time(stats, m, p_intra=1, contention_factor=0.5)

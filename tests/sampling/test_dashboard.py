@@ -1,0 +1,246 @@
+"""Tests for the Dashboard data structure and its frontier sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.csr import edges_to_csr
+from repro.sampling.dashboard import INV, Dashboard, DashboardFrontierSampler
+from repro.sampling.frontier import FrontierSampler
+
+
+class TestDashboardOps:
+    def test_add_allocates_contiguous_entries(self):
+        db = Dashboard(100)
+        db.add(7, 4)
+        assert np.all(db.db_vertex[:4] == 7)
+        assert db.db_offset[0] == -4
+        assert np.array_equal(db.db_offset[1:4], [1, 2, 3])
+        assert np.all(db.db_index[:4] == 0)
+        assert db.ia_start[0] == 0 and db.ia_alive[0]
+        assert db.used == 4 and db.alive_entries == 4
+
+    def test_add_second_vertex_appends(self):
+        db = Dashboard(100)
+        db.add(7, 4)
+        db.add(9, 2)
+        assert np.all(db.db_vertex[4:6] == 9)
+        assert db.ia_start[1] == 4
+        assert db.num_added == 2
+
+    def test_overflow_raises(self):
+        db = Dashboard(5)
+        db.add(1, 4)
+        with pytest.raises(RuntimeError, match="overflow"):
+            db.add(2, 3)
+
+    def test_add_validation(self):
+        with pytest.raises(ValueError):
+            Dashboard(10).add(0, 0)
+        with pytest.raises(ValueError):
+            Dashboard(0)
+
+    def test_pop_invalidates_all_entries(self, rng):
+        db = Dashboard(50)
+        db.add(3, 6)
+        v = db.pop(rng)
+        assert v == 3
+        assert np.all(db.db_vertex[:6] == INV)
+        assert not db.ia_alive[0]
+        assert db.alive_entries == 0
+        assert db.num_pops == 1
+        assert db.num_probes >= 1
+
+    def test_pop_empty_raises(self, rng):
+        with pytest.raises(RuntimeError, match="empty"):
+            Dashboard(10).pop(rng)
+
+    def test_pop_degree_proportional(self):
+        """A vertex with k entries is popped with probability ~k/total."""
+        counts = {1: 0, 2: 0}
+        trials = 3000
+        for i in range(trials):
+            db = Dashboard(100)
+            db.add(1, 9)  # 9 entries
+            db.add(2, 1)  # 1 entry
+            counts[db.pop(np.random.default_rng(i))] += 1
+        assert counts[1] / trials == pytest.approx(0.9, abs=0.03)
+
+    def test_cleanup_compacts(self, rng):
+        db = Dashboard(60)
+        db.add(1, 5)
+        db.add(2, 5)
+        db.add(3, 5)
+        popped = db.pop(rng)
+        used_before = db.used
+        db.cleanup()
+        assert db.used == used_before - 5
+        assert db.alive_entries == db.used
+        alive = set(db.alive_vertices().tolist())
+        assert alive == {1, 2, 3} - {popped}
+        assert db.num_cleanups == 1
+
+    def test_cleanup_preserves_offsets(self, rng):
+        db = Dashboard(60)
+        db.add(1, 3)
+        db.add(2, 4)
+        db.pop(rng)
+        db.cleanup()
+        # Remaining vertex's entries still form a valid (-deg, 1, 2, ...)
+        # offset block.
+        start = db.ia_start[0]
+        deg = -db.db_offset[start]
+        assert deg in (3, 4)
+        assert np.array_equal(
+            db.db_offset[start + 1 : start + deg], np.arange(1, deg)
+        )
+
+    def test_cleanup_then_pop_still_correct(self, rng):
+        db = Dashboard(60)
+        for v in range(5):
+            db.add(v, 4)
+        db.pop(rng)
+        db.pop(rng)
+        db.cleanup()
+        v = db.pop(rng)
+        assert 0 <= v < 5
+
+    def test_grow(self):
+        db = Dashboard(10)
+        db.add(1, 8)
+        db.grow(40)
+        assert db.capacity == 40
+        db.add(2, 20)
+        assert db.alive_entries == 28
+        with pytest.raises(ValueError):
+            db.grow(5)
+
+    def test_valid_ratio(self):
+        db = Dashboard(100)
+        db.add(1, 25)
+        assert db.valid_ratio == pytest.approx(0.25)
+
+    def test_modeled_bytes(self):
+        assert Dashboard(1000).modeled_bytes == 8000  # INT32 + 2x INT16
+
+
+class TestDashboardSampler:
+    def test_validation(self, medium_graph):
+        with pytest.raises(ValueError, match="eta"):
+            DashboardFrontierSampler(
+                medium_graph, frontier_size=10, budget=20, eta=1.0
+            )
+        with pytest.raises(ValueError):
+            DashboardFrontierSampler(
+                medium_graph, frontier_size=10, budget=20, max_entries_per_vertex=0
+            )
+        g = edges_to_csr(np.array([[0, 1]]), 3)
+        with pytest.raises(ValueError, match="min degree"):
+            DashboardFrontierSampler(g, frontier_size=2, budget=3)
+
+    def test_budget_and_induced(self, medium_graph, rng):
+        s = DashboardFrontierSampler(medium_graph, frontier_size=30, budget=150)
+        sub = s.sample(rng)
+        assert 30 <= sub.num_vertices <= 150
+        for u in range(min(sub.num_vertices, 20)):
+            for v in sub.graph.neighbors(u):
+                assert medium_graph.has_edge(
+                    int(sub.vertex_map[u]), int(sub.vertex_map[v])
+                )
+
+    def test_stats_complete(self, medium_graph, rng):
+        s = DashboardFrontierSampler(medium_graph, frontier_size=20, budget=100)
+        stats = s.sample(rng).stats
+        for key in (
+            "pops",
+            "probes",
+            "cleanups",
+            "capacity",
+            "rand_ops",
+            "mem_ops",
+            "vector_elements",
+            "vector_chunks",
+        ):
+            assert key in stats
+        assert stats["pops"] == 80
+        assert stats["probes"] >= stats["pops"]
+
+    def test_probe_efficiency_matches_eta(self, medium_graph):
+        """Expected probes per pop ~ eta (valid ratio ~ 1/eta)."""
+        s = DashboardFrontierSampler(
+            medium_graph, frontier_size=40, budget=400, eta=2.0
+        )
+        stats = s.sample(np.random.default_rng(0)).stats
+        probes_per_pop = stats["probes"] / stats["pops"]
+        assert 1.0 <= probes_per_pop <= 2.0 * 2.5  # loose band around eta
+
+    def test_same_distribution_as_reference(self, medium_graph):
+        """Dashboard and reference samplers produce statistically similar
+        subgraphs: compare mean sampled-vertex degree over repetitions."""
+        m, n = 40, 200
+        ref = FrontierSampler(medium_graph, frontier_size=m, budget=n)
+        fast = DashboardFrontierSampler(
+            medium_graph, frontier_size=m, budget=n, eta=2.0
+        )
+        deg = medium_graph.degrees
+
+        def mean_sampled_degree(sampler, seeds):
+            vals = []
+            for seed in seeds:
+                sub = sampler.sample(np.random.default_rng(seed))
+                vals.append(float(deg[sub.vertex_map].mean()))
+            return np.array(vals)
+
+        a = mean_sampled_degree(ref, range(12))
+        b = mean_sampled_degree(fast, range(100, 112))
+        # Same distribution: means within 3 combined standard errors.
+        se = np.sqrt(a.var() / a.size + b.var() / b.size)
+        assert abs(a.mean() - b.mean()) < 3 * se + 1e-9
+
+    def test_degree_cap_limits_entries(self, rng):
+        # Hub with degree 50 capped to 5 entries.
+        edges = [[0, i] for i in range(1, 51)]
+        edges += [[i, (i % 50) + 1] for i in range(1, 51)]
+        g = edges_to_csr(np.array(edges), 51)
+        s = DashboardFrontierSampler(
+            g, frontier_size=5, budget=20, max_entries_per_vertex=5
+        )
+        assert s._entries_for(0) == 5
+        sub = s.sample(rng)  # runs without error
+        assert sub.num_vertices <= 20
+
+    def test_degree_cap_reduces_hub_pops(self):
+        """With the cap, the hub is popped far less often."""
+        edges = [[0, i] for i in range(1, 81)]
+        edges += [[i, (i % 80) + 1] for i in range(1, 81)]
+        g = edges_to_csr(np.array(edges), 81)
+
+        def hub_pop_rate(cap, trials=40):
+            hits = 0
+            for i in range(trials):
+                s = DashboardFrontierSampler(
+                    g,
+                    frontier_size=8,
+                    budget=16,
+                    max_entries_per_vertex=cap,
+                )
+                sub = s.sample(np.random.default_rng(i))
+                # Hub sampled (it is vertex 0) if present in vertex_map.
+                hits += int(0 in sub.vertex_map)
+            return hits / trials
+
+        assert hub_pop_rate(cap=2) <= hub_pop_rate(cap=None) + 0.05
+
+    def test_cleanups_happen_on_small_eta(self, medium_graph):
+        s = DashboardFrontierSampler(
+            medium_graph, frontier_size=40, budget=400, eta=1.3
+        )
+        stats = s.sample(np.random.default_rng(1)).stats
+        assert stats["cleanups"] >= 1
+
+    def test_determinism(self, medium_graph):
+        s = DashboardFrontierSampler(medium_graph, frontier_size=20, budget=80)
+        a = s.sample(np.random.default_rng(9))
+        b = s.sample(np.random.default_rng(9))
+        assert np.array_equal(a.vertex_map, b.vertex_map)

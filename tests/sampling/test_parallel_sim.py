@@ -1,0 +1,120 @@
+"""Tests for the Algorithm-4 replay simulation, including Theorem 1."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel.machine import xeon_40core
+from repro.sampling.cost import theorem1_max_processors
+from repro.sampling.parallel_sim import (
+    SamplerReplay,
+    record_replay,
+    simulate_replay,
+)
+
+
+@pytest.fixture(scope="module")
+def replay(medium_graph):
+    return record_replay(
+        medium_graph,
+        frontier_size=40,
+        budget=400,
+        eta=3.0,
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestRecordReplay:
+    def test_event_counts(self, replay):
+        assert len(replay.pops) == 360
+        assert replay.initial_entries > 0
+
+    def test_valid_ratios_in_range(self, replay):
+        for pop in replay.pops:
+            assert 0.0 < pop.valid_ratio <= 1.0
+
+    def test_entries_positive(self, replay):
+        assert all(p.entries >= 1 for p in replay.pops)
+        assert all(p.new_entries >= 1 for p in replay.pops)
+
+    def test_cleanups_decrease_with_eta(self, medium_graph):
+        counts = {}
+        for eta in (1.5, 4.0):
+            r = record_replay(
+                medium_graph,
+                frontier_size=40,
+                budget=400,
+                eta=eta,
+                rng=np.random.default_rng(1),
+            )
+            counts[eta] = len(r.cleanups)
+        assert counts[4.0] < counts[1.5]
+
+    def test_degree_cap_bounds_entries(self, medium_graph):
+        r = record_replay(
+            medium_graph,
+            frontier_size=40,
+            budget=200,
+            max_entries_per_vertex=5,
+            rng=np.random.default_rng(2),
+        )
+        assert max(p.entries for p in r.pops) <= 5
+
+    def test_validation(self, medium_graph):
+        with pytest.raises(ValueError):
+            record_replay(
+                medium_graph,
+                frontier_size=0,
+                budget=10,
+                rng=np.random.default_rng(0),
+            )
+
+
+class TestSimulateReplay:
+    def test_speedup_monotone_in_workers(self, replay):
+        machine = xeon_40core()
+        spans = [
+            simulate_replay(replay, machine, workers=w).span for w in (1, 2, 4, 8)
+        ]
+        assert all(b < a for a, b in zip(spans, spans[1:]))
+
+    def test_regions_present(self, replay):
+        ex = simulate_replay(replay, xeon_40core(), workers=4)
+        names = set(ex.region_breakdown())
+        assert {"probe", "invalidate", "append"} <= names
+
+    def test_work_independent_of_workers_except_probing(self, replay):
+        """Total work differs between worker counts only through the
+        probing term (wasted concurrent probes)."""
+        machine = xeon_40core()
+        w1 = simulate_replay(replay, machine, workers=1)
+        w8 = simulate_replay(replay, machine, workers=8)
+        bd1 = w1.region_breakdown()
+        # Chunked regions have identical *work*; only probe spans differ.
+        assert w1.work - bd1["probe"] == pytest.approx(
+            w8.work - w8.region_breakdown()["probe"], rel=1e-9
+        )
+
+    def test_theorem1_guarantee_on_measured_workload(self, medium_graph):
+        """Theorem 1: speedup >= p / (1 + eps) for p within the bound,
+        validated against the replayed (measured) workload rather than the
+        closed-form expectation."""
+        eta, eps = 3.0, 0.5
+        replay = record_replay(
+            medium_graph,
+            frontier_size=60,
+            budget=500,
+            eta=eta,
+            rng=np.random.default_rng(3),
+        )
+        machine = xeon_40core()
+        d = medium_graph.average_degree
+        p_max = int(theorem1_max_processors(d=d, eta=eta, epsilon=eps))
+        p_max = min(p_max, machine.num_cores)
+        t1 = simulate_replay(replay, machine, workers=1).span
+        for p in (2, 4, min(8, p_max)):
+            if p > p_max:
+                continue
+            tp = simulate_replay(replay, machine, workers=p).span
+            assert t1 / tp >= p / (1 + eps) - 0.3, f"p={p}: {t1 / tp}"

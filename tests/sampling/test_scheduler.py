@@ -1,0 +1,83 @@
+"""Tests for the subgraph pool scheduler (Algorithm 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel.machine import xeon_40core
+from repro.sampling.dashboard import DashboardFrontierSampler
+from repro.sampling.extra import RandomNodeSampler
+from repro.sampling.scheduler import SubgraphPool
+
+
+@pytest.fixture
+def sampler(medium_graph):
+    return DashboardFrontierSampler(medium_graph, frontier_size=20, budget=100)
+
+
+class TestPool:
+    def test_validation(self, sampler):
+        with pytest.raises(ValueError):
+            SubgraphPool(sampler, xeon_40core(), p_inter=0)
+
+    def test_get_refills_when_empty(self, sampler):
+        pool = SubgraphPool(
+            sampler, xeon_40core(), p_inter=4, rng=np.random.default_rng(0)
+        )
+        assert len(pool) == 0
+        sub, t = pool.get()
+        assert sub.num_vertices > 0
+        assert t > 0
+        assert len(pool) == 3  # 4 sampled, 1 consumed
+        assert len(pool.fills) == 1
+
+    def test_no_refill_while_warm(self, sampler):
+        pool = SubgraphPool(
+            sampler, xeon_40core(), p_inter=4, rng=np.random.default_rng(0)
+        )
+        for _ in range(4):
+            pool.get()
+        assert len(pool.fills) == 1
+        pool.get()  # triggers second fill
+        assert len(pool.fills) == 2
+
+    def test_amortized_time_is_makespan_fraction(self, sampler):
+        pool = SubgraphPool(
+            sampler, xeon_40core(), p_inter=8, rng=np.random.default_rng(1)
+        )
+        _, t = pool.get()
+        fill = pool.fills[-1]
+        assert t == pytest.approx(fill.simulated_makespan / 8)
+
+    def test_inter_parallel_speedup_near_linear(self, sampler):
+        """Filling with 8 instances on 8 cores beats serial by ~8x (LPT of
+        homogeneous tasks)."""
+        pool = SubgraphPool(
+            sampler, xeon_40core(), p_inter=8, rng=np.random.default_rng(2)
+        )
+        pool.refill()
+        fill = pool.fills[-1]
+        assert 5.0 <= fill.simulated_speedup <= 8.0
+
+    def test_avx_reduces_fill_time(self, sampler):
+        scalar = SubgraphPool(
+            sampler, xeon_40core(), p_inter=4, p_intra=1, rng=np.random.default_rng(3)
+        )
+        vector = SubgraphPool(
+            sampler, xeon_40core(), p_inter=4, p_intra=8, rng=np.random.default_rng(3)
+        )
+        t_scalar = scalar.refill().simulated_makespan
+        t_vector = vector.refill().simulated_makespan
+        assert t_vector < t_scalar
+
+    def test_unmetered_sampler_uses_fallback_cost(self, medium_graph):
+        pool = SubgraphPool(
+            RandomNodeSampler(medium_graph, budget=50),
+            xeon_40core(),
+            p_inter=2,
+            rng=np.random.default_rng(4),
+        )
+        sub, t = pool.get()
+        assert sub.num_vertices == 50
+        assert t > 0

@@ -1,0 +1,81 @@
+"""Tests for early stopping in the trainer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.train.config import TrainConfig
+from repro.train.trainer import GraphSamplingTrainer
+
+
+class TestEarlyStopping:
+    def test_patience_validation(self):
+        with pytest.raises(ValueError, match="patience"):
+            TrainConfig(patience=0)
+
+    def test_stops_before_epoch_budget(self, reddit_small):
+        """With patience 1 on a quickly-plateauing run, training ends well
+        before the (deliberately huge) epoch budget."""
+        cfg = TrainConfig(
+            hidden_dims=(16,),
+            frontier_size=20,
+            budget=120,
+            lr=0.01,
+            epochs=60,
+            eval_every=1,
+            patience=1,
+            seed=0,
+        )
+        result = GraphSamplingTrainer(reddit_small, cfg).train()
+        assert len(result.epochs) < 60
+
+    def test_no_patience_runs_full_budget(self, reddit_small):
+        cfg = TrainConfig(
+            hidden_dims=(16,),
+            frontier_size=20,
+            budget=120,
+            epochs=4,
+            eval_every=1,
+            patience=None,
+            seed=0,
+        )
+        result = GraphSamplingTrainer(reddit_small, cfg).train()
+        assert len(result.epochs) == 4
+
+    def test_patience_counts_only_evals(self, reddit_small):
+        """eval_every > 1: non-eval epochs cannot trigger stopping."""
+        cfg = TrainConfig(
+            hidden_dims=(16,),
+            frontier_size=20,
+            budget=120,
+            epochs=6,
+            eval_every=3,
+            patience=5,
+            seed=0,
+        )
+        result = GraphSamplingTrainer(reddit_small, cfg).train()
+        assert len(result.epochs) == 6  # only 2 evals happen, patience 5
+
+
+class TestRestoreBest:
+    def test_model_restored_to_best_eval(self, reddit_small):
+        """After training with restore_best, the model's full-graph val F1
+        equals the best recorded evaluation, even if later epochs were
+        worse."""
+        from repro.train.evaluation import Evaluator
+
+        cfg = TrainConfig(
+            hidden_dims=(16,),
+            frontier_size=20,
+            budget=120,
+            lr=0.05,  # aggressive: late epochs likely to regress
+            epochs=8,
+            eval_every=1,
+            restore_best=True,
+            seed=0,
+        )
+        trainer = GraphSamplingTrainer(reddit_small, cfg)
+        result = trainer.train()
+        best = max(r.val.f1_micro for r in result.epochs if r.val is not None)
+        final = Evaluator(reddit_small).evaluate(trainer.model, "val").f1_micro
+        assert final == pytest.approx(best, abs=1e-9)

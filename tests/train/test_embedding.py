@@ -1,0 +1,98 @@
+"""Tests for embedding extraction and retrieval utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.network import GCN
+from repro.train.config import TrainConfig
+from repro.train.embedding import (
+    compute_embeddings,
+    cosine_nearest_neighbors,
+    embedding_report,
+    label_homogeneity,
+    normalize_embeddings,
+)
+from repro.train.trainer import GraphSamplingTrainer
+
+
+class TestNormalize:
+    def test_unit_rows(self, rng):
+        e = rng.standard_normal((10, 4))
+        n = normalize_embeddings(e)
+        assert np.allclose(np.linalg.norm(n, axis=1), 1.0)
+
+    def test_zero_rows_stay_zero(self):
+        e = np.zeros((3, 4))
+        assert np.all(normalize_embeddings(e) == 0)
+
+
+class TestNearestNeighbors:
+    def test_excludes_self(self, rng):
+        e = rng.standard_normal((20, 6))
+        q = np.arange(5)
+        idx, sims = cosine_nearest_neighbors(e, q, k=3)
+        assert idx.shape == (5, 3)
+        for i, row in zip(q, idx):
+            assert i not in row
+
+    def test_finds_duplicates(self, rng):
+        e = rng.standard_normal((10, 4))
+        e[7] = e[2]  # exact duplicate
+        idx, sims = cosine_nearest_neighbors(e, np.array([2]), k=1)
+        assert idx[0, 0] == 7
+        assert sims[0, 0] == pytest.approx(1.0)
+
+    def test_sorted_by_similarity(self, rng):
+        e = rng.standard_normal((30, 5))
+        idx, sims = cosine_nearest_neighbors(e, np.array([0]), k=5)
+        assert np.all(np.diff(sims[0]) <= 1e-12)
+
+    def test_k_validation(self, rng):
+        with pytest.raises(ValueError):
+            cosine_nearest_neighbors(rng.standard_normal((5, 2)), np.array([0]), k=0)
+
+
+class TestHomogeneity:
+    def test_perfectly_clustered(self):
+        # Two tight clusters with matching labels -> homogeneity 1.
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((20, 3)) * 0.01 + np.array([10.0, 0, 0])
+        b = rng.standard_normal((20, 3)) * 0.01 + np.array([-10.0, 0, 0])
+        emb = np.vstack([a, b])
+        labels = np.array([0] * 20 + [1] * 20)
+        assert label_homogeneity(emb, labels, k=5, sample=None) == 1.0
+
+    def test_random_embeddings_near_base_rate(self):
+        rng = np.random.default_rng(1)
+        emb = rng.standard_normal((300, 8))
+        labels = rng.integers(0, 3, size=300)
+        h = label_homogeneity(emb, labels, k=10, sample=100, rng=rng)
+        assert 0.15 <= h <= 0.55  # ~1/3 expected
+
+    def test_multilabel_variant(self, rng):
+        emb = rng.standard_normal((50, 6))
+        labels = (rng.random((50, 8)) < 0.3).astype(np.float64)
+        h = label_homogeneity(emb, labels, k=5, sample=None)
+        assert 0.0 <= h <= 1.0
+
+
+class TestReport:
+    def test_trained_model_beats_shuffled(self, reddit_small):
+        trainer = GraphSamplingTrainer(
+            reddit_small,
+            TrainConfig(
+                hidden_dims=(32, 32), frontier_size=30, budget=190, lr=0.005,
+                epochs=6, eval_every=6, seed=0,
+            ),
+        )
+        trainer.train()
+        report = embedding_report(trainer.model, reddit_small, k=10)
+        assert report["lift"] > 1.5
+        assert report["label_homogeneity@k"] > report["shuffled_base_rate"]
+
+    def test_embedding_shape(self, reddit_small):
+        model = GCN(reddit_small.attribute_dim, [8, 4], reddit_small.num_classes, seed=0)
+        emb = compute_embeddings(model, reddit_small)
+        assert emb.shape == (reddit_small.num_vertices, 8)  # concat doubles 4

@@ -1,0 +1,73 @@
+"""Tests for full-graph evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.loss import make_loss
+from repro.nn.metrics import f1_micro
+from repro.nn.network import GCN
+from repro.propagation.spmm import MeanAggregator
+from repro.train.evaluation import Evaluator
+
+
+class TestEvaluator:
+    def test_matches_manual_computation(self, reddit_small):
+        ds = reddit_small
+        model = GCN(ds.attribute_dim, [8], ds.num_classes, seed=0)
+        ev = Evaluator(ds)
+        res = ev.evaluate(model, "val")
+
+        logits = model.forward(ds.features, MeanAggregator(ds.graph), train=False)
+        loss = make_loss(ds.task)
+        manual_f1 = f1_micro(
+            ds.labels[ds.val_idx],
+            loss.predict(logits[ds.val_idx]),
+            ds.num_classes,
+        )
+        assert res.f1_micro == pytest.approx(manual_f1)
+
+    def test_all_splits(self, reddit_small):
+        model = GCN(reddit_small.attribute_dim, [8], reddit_small.num_classes, seed=0)
+        ev = Evaluator(reddit_small)
+        for split in ("train", "val", "test"):
+            res = ev.evaluate(model, split)
+            assert res.split == split
+            assert np.isfinite(res.loss)
+
+    def test_unknown_split(self, reddit_small):
+        model = GCN(reddit_small.attribute_dim, [8], reddit_small.num_classes, seed=0)
+        with pytest.raises(ValueError, match="unknown split"):
+            Evaluator(reddit_small).evaluate(model, "dev")
+
+    def test_multilabel_dataset(self, ppi_small):
+        model = GCN(ppi_small.attribute_dim, [8], ppi_small.num_classes, seed=0)
+        res = Evaluator(ppi_small).evaluate(model, "test")
+        assert 0.0 <= res.f1_micro <= 1.0
+        assert 0.0 <= res.f1_macro <= 1.0
+
+
+class TestChunkedEvaluation:
+    def test_matches_unchunked(self, reddit_small):
+        from repro.nn.network import GCN
+
+        model = GCN(
+            reddit_small.attribute_dim, [8, 8], reddit_small.num_classes, seed=2
+        )
+        plain = Evaluator(reddit_small).evaluate(model, "val")
+        chunked = Evaluator(reddit_small, feature_chunk=37).evaluate(model, "val")
+        assert chunked.f1_micro == pytest.approx(plain.f1_micro)
+        assert chunked.loss == pytest.approx(plain.loss)
+
+    def test_chunk_of_one(self, ppi_small):
+        from repro.nn.network import GCN
+
+        model = GCN(ppi_small.attribute_dim, [4], ppi_small.num_classes, seed=0)
+        plain = Evaluator(ppi_small).evaluate(model, "test")
+        chunked = Evaluator(ppi_small, feature_chunk=1).evaluate(model, "test")
+        assert chunked.loss == pytest.approx(plain.loss)
+
+    def test_validation(self, ppi_small):
+        with pytest.raises(ValueError, match="feature_chunk"):
+            Evaluator(ppi_small, feature_chunk=0)
