@@ -11,7 +11,7 @@ from repro.experiments import ablations
 from repro.experiments.common import format_table
 
 
-def test_ablation_dashboard_eta(benchmark, record_table):
+def test_ablation_dashboard_eta(benchmark, record_table, record_json):
     results = benchmark.pedantic(
         lambda: ablations.run_dashboard_eta(num_subgraphs=4, seed=0),
         rounds=1,
@@ -21,6 +21,7 @@ def test_ablation_dashboard_eta(benchmark, record_table):
         "ablation_dashboard_eta",
         format_table(results["rows"], title="X2: Dashboard eta sweep"),
     )
+    record_json("ablation_dashboard_eta", results)
     rows = sorted(results["rows"], key=lambda r: r["eta"])
     cleanups = [r["cleanups_per_subgraph"] for r in rows]
     probes = [r["probes_per_pop"] for r in rows]
@@ -32,7 +33,7 @@ def test_ablation_dashboard_eta(benchmark, record_table):
         assert 0.25 <= ratio <= 4.0
 
 
-def test_ablation_alias_vs_dashboard(benchmark, record_table):
+def test_ablation_alias_vs_dashboard(benchmark, record_table, record_json):
     """Section IV-A's rejected alternative, quantified: per-pop alias
     rebuilds scale O(m) while the Dashboard's incremental update is
     O(d) — the advantage grows with frontier size and exceeds an order of
@@ -46,6 +47,7 @@ def test_ablation_alias_vs_dashboard(benchmark, record_table):
         "ablation_alias_vs_dashboard",
         format_table(results["rows"], title="X8: alias rebuilds vs Dashboard updates"),
     )
+    record_json("ablation_alias_vs_dashboard", results)
     advantages = [r["dashboard_advantage"] for r in results["rows"]]
     assert advantages == sorted(advantages)  # grows with m
     assert advantages[-1] > 10.0

@@ -11,7 +11,7 @@ from repro.experiments import ablations
 from repro.experiments.common import format_table
 
 
-def test_ablation_partitioning_2approx(benchmark, record_table):
+def test_ablation_partitioning_2approx(benchmark, record_table, record_json):
     results = benchmark.pedantic(
         lambda: ablations.run_partitioning(seed=0), rounds=1, iterations=1
     )
@@ -19,6 +19,7 @@ def test_ablation_partitioning_2approx(benchmark, record_table):
         "ablation_partitioning",
         format_table(results["rows"], title="X1: feature-only partitioning vs optimum"),
     )
+    record_json("ablation_partitioning", results)
     for row in results["rows"]:
         if row["thm2_conditions"]:
             assert row["ratio_vs_ideal"] <= 2.0 + 1e-9
@@ -27,7 +28,7 @@ def test_ablation_partitioning_2approx(benchmark, record_table):
         assert row["gcomm_random_MB"] >= row["gcomm_ours_MB"] * 0.999
 
 
-def test_ablation_partitioner_gamma(benchmark, record_table):
+def test_ablation_partitioner_gamma(benchmark, record_table, record_json):
     """Measured gamma_P of real partitioners on a sampled subgraph: all
     stay far above the 1/P ideal, the premise of Theorem 2."""
     from repro.experiments.ablations import run_partitioner_gamma
@@ -41,6 +42,7 @@ def test_ablation_partitioner_gamma(benchmark, record_table):
             results["rows"], title="X1b: measured gamma_P on a sampled subgraph"
         ),
     )
+    record_json("ablation_partitioner_gamma", results)
     for row in results["rows"]:
         for key in ("gamma_random", "gamma_bfs", "gamma_greedy"):
             # Far above the 1/P ideal (for P=2 "far" saturates near 1.0,

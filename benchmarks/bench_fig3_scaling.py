@@ -11,13 +11,14 @@ from __future__ import annotations
 from repro.experiments import fig3
 
 
-def test_fig3_scaling_hidden_512(benchmark, record_table):
+def test_fig3_scaling_hidden_512(benchmark, record_table, record_json):
     results = benchmark.pedantic(
         lambda: fig3.run(hidden_dims=(512,), iterations=4, seed=0),
         rounds=1,
         iterations=1,
     )
     record_table("fig3_scaling_h512", fig3.format_results(results))
+    record_json("fig3_scaling_h512", results)
     for row in results["rows"]:
         if row["cores"] == 40:
             assert 10.0 <= row["iteration_speedup"] <= 30.0
@@ -25,13 +26,14 @@ def test_fig3_scaling_hidden_512(benchmark, record_table):
             assert 20.0 <= row["featprop_speedup"] <= 30.0
 
 
-def test_fig3_scaling_hidden_1024(benchmark, record_table):
+def test_fig3_scaling_hidden_1024(benchmark, record_table, record_json):
     results = benchmark.pedantic(
         lambda: fig3.run(hidden_dims=(1024,), iterations=3, seed=0),
         rounds=1,
         iterations=1,
     )
     record_table("fig3_scaling_h1024", fig3.format_results(results))
+    record_json("fig3_scaling_h1024", results)
     # Larger hidden dim: weight application dominates even more, and the
     # speedup curves keep the same shape.
     for row in results["rows"]:

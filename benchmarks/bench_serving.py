@@ -1,0 +1,51 @@
+"""Benchmark S1 — embedding serving under a Zipf-skewed query trace.
+
+Replays the same saturating request stream (skew mirroring the Amazon
+profile's degree distribution) through four server configurations and
+records the paper-style table plus the BENCH_serving.json trajectory
+file.
+
+Shapes to hold: micro-batching alone beats per-request brute force;
+adding the LRU cache and the cluster-pruned ANN index compounds to at
+least 5x the naive throughput while keeping recall@10 >= 0.9; shed and
+degradation counters are reported for every configuration.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import serving
+
+
+def test_serving_configurations(benchmark, record_table, record_json):
+    results = benchmark.pedantic(
+        lambda: serving.run(num_queries=3000, seed=0), rounds=1, iterations=1
+    )
+    record_table("serving", serving.format_results(results))
+    record_json("serving", results)
+
+    rows = {r["config"]: r for r in results["rows"]}
+    assert set(rows) == set(serving.CONFIG_NAMES)
+    naive = rows["naive"]
+    full = rows["batched+cache+ann"]
+    # The acceptance bar: the full serving stack sustains >= 5x the naive
+    # per-request brute-force throughput at recall@10 >= 0.9.
+    assert full["throughput_qps"] >= 5.0 * naive["throughput_qps"]
+    assert full["recall_at_k"] >= 0.9
+    # Exact configurations must not lose recall at all.
+    assert naive["recall_at_k"] == 1.0
+    assert rows["batched"]["recall_at_k"] == 1.0
+    # Each added mechanism helps throughput on a saturating Zipf trace.
+    assert rows["batched"]["throughput_qps"] > naive["throughput_qps"]
+    assert (
+        rows["batched+cache"]["throughput_qps"]
+        > rows["batched"]["throughput_qps"]
+    )
+    # The latency/overload columns are populated for every configuration.
+    for r in results["rows"]:
+        assert r["p50_ms"] <= r["p95_ms"] <= r["p99_ms"]
+        assert r["served"] + r["shed"] == len(
+            range(results["meta"]["num_queries"])
+        )
+        assert r["hit_rate"] >= 0.0 and "shed" in r
+    # The skewed trace makes the cache earn its keep.
+    assert rows["batched+cache"]["hit_rate"] > 0.3

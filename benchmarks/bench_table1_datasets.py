@@ -8,11 +8,12 @@ from __future__ import annotations
 from repro.experiments import table1
 
 
-def test_table1_dataset_statistics(benchmark, record_table):
+def test_table1_dataset_statistics(benchmark, record_table, record_json):
     results = benchmark.pedantic(
         lambda: table1.run(seed=0), rounds=1, iterations=1
     )
     record_table("table1_datasets", table1.format_results(results))
+    record_json("table1_datasets", results)
     rows = results["rows"]
     assert len(rows) == 4
     # Every generated dataset respects its profile's attribute/class spec.

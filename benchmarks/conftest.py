@@ -3,7 +3,11 @@
 Experiment benchmarks run their workload once (``benchmark.pedantic`` with
 a single round — these regenerate paper tables, they are not microbenches)
 and write the paper-style table to ``benchmarks/results/`` as well as
-stdout.
+stdout. Every runner additionally writes a machine-readable
+``BENCH_<name>.json`` next to the table (via :func:`record_json`), so the
+benchmark trajectory can be compared across PRs without re-parsing ASCII
+tables. The pure microbenches in ``bench_kernels.py`` get their stats
+exported to ``BENCH_kernels.json`` by a session-finish hook.
 """
 
 from __future__ import annotations
@@ -11,6 +15,8 @@ from __future__ import annotations
 import pathlib
 
 import pytest
+
+from repro.experiments.common import write_bench_json
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -31,3 +37,50 @@ def record_table(results_dir):
         print(f"\n{text}\n[written to {path}]")
 
     return _record
+
+
+@pytest.fixture
+def record_json(results_dir):
+    """Write a runner's raw results dict to results/BENCH_<name>.json."""
+
+    def _record(name: str, results) -> None:
+        path = write_bench_json(
+            results_dir / f"BENCH_{name}.json", name, results
+        )
+        print(f"[written to {path}]")
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Export pytest-benchmark microbench stats as BENCH_kernels.json.
+
+    The kernel benches have no results dict of their own — their product
+    *is* the timing — so the trajectory file is assembled from the
+    benchmark session's stats after the run.
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not getattr(bench_session, "benchmarks", None):
+        return
+    rows = []
+    for bench in bench_session.benchmarks:
+        if "bench_kernels" not in getattr(bench, "fullname", ""):
+            continue  # table-style runners write their own BENCH_*.json
+        stats = getattr(bench, "stats", None)
+        if stats is None or getattr(bench, "has_error", False):
+            continue
+        try:
+            rows.append(
+                {
+                    "name": bench.fullname,
+                    "mean_s": stats.mean,
+                    "stddev_s": stats.stddev,
+                    "min_s": stats.min,
+                    "rounds": stats.rounds,
+                }
+            )
+        except (AttributeError, TypeError):
+            continue
+    if rows:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        write_bench_json(RESULTS_DIR / "BENCH_kernels.json", "kernels", rows)

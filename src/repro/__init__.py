@@ -17,6 +17,8 @@ GCN ("GS-GCN", the GraphSAINT precursor) and everything it depends on:
   the paper's scaling results on any host;
 * :mod:`repro.baselines` — GraphSAGE, FastGCN and Batched GCN;
 * :mod:`repro.train` — the Algorithm 1/5 training loop and evaluation;
+* :mod:`repro.serving` — the downstream serving layer (Section I's
+  motivating workload): ANN index, micro-batching, caching, metrics;
 * :mod:`repro.experiments` — one module per paper table/figure.
 
 Quickstart::
@@ -40,6 +42,7 @@ from .sampling import (
     SampledSubgraph,
     SubgraphPool,
 )
+from .serving import EmbeddingServer, ServerConfig, zipf_trace
 from .train import Evaluator, GraphSamplingTrainer, TrainConfig, TrainResult
 
 __version__ = "1.0.0"
@@ -64,5 +67,8 @@ __all__ = [
     "GraphSamplingTrainer",
     "TrainResult",
     "Evaluator",
+    "EmbeddingServer",
+    "ServerConfig",
+    "zipf_trace",
     "__version__",
 ]

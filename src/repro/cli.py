@@ -8,6 +8,7 @@ Regenerate any paper artifact without writing code::
     python -m repro.cli fig4
     python -m repro.cli table2
     python -m repro.cli ablations
+    python -m repro.cli serve-bench --queries 3000
     python -m repro.cli all --out results/
 
 Each subcommand prints the paper-style table; ``--out DIR`` additionally
@@ -20,8 +21,17 @@ import argparse
 import pathlib
 import sys
 
-from .experiments import ablations, extensions, fig2, fig3, fig4, table1, table2
-from .experiments.common import format_table
+from .experiments import (
+    ablations,
+    extensions,
+    fig2,
+    fig3,
+    fig4,
+    serving,
+    table1,
+    table2,
+)
+from .experiments.common import format_table, write_bench_json
 
 __all__ = ["main", "build_parser"]
 
@@ -120,6 +130,21 @@ def _run_extensions(args: argparse.Namespace, out: pathlib.Path | None) -> None:
     _emit("extensions", text, out)
 
 
+def _run_serve_bench(args: argparse.Namespace, out: pathlib.Path | None) -> None:
+    """Replay the Zipf query trace through the serving configurations."""
+    results = serving.run(
+        num_queries=args.queries,
+        load_factor=args.load_factor,
+        seed=args.seed,
+    )
+    _emit("serve_bench", serving.format_results(results), out)
+    if out is not None:
+        path = write_bench_json(
+            out / "BENCH_serve_bench.json", "serve_bench", results
+        )
+        print(f"[written to {path}]")
+
+
 def _run_report(args: argparse.Namespace, out: pathlib.Path | None) -> None:
     """Assemble all tables in benchmarks/results/ into one document."""
     results_dir = (
@@ -146,6 +171,7 @@ def _run_report(args: argparse.Namespace, out: pathlib.Path | None) -> None:
         "ablation_samplers",
         "extension_depth_accuracy",
         "extension_budget_scaling",
+        "serving",
     ]
     files = {p.stem: p for p in sorted(results_dir.glob("*.txt"))}
     sections = [
@@ -163,6 +189,7 @@ _COMMANDS = {
     "fig4": _run_fig4,
     "table2": _run_table2,
     "ablations": _run_ablations,
+    "serve-bench": _run_serve_bench,
     "report": _run_report,
 }
 
@@ -193,6 +220,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.0,
         help="scale factor on fig2's per-dataset epoch recipes",
+    )
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=3000,
+        help="serve-bench: number of requests in the replayed trace",
+    )
+    parser.add_argument(
+        "--load-factor",
+        type=float,
+        default=20.0,
+        help="serve-bench: offered rate as a multiple of naive capacity",
     )
     parser.add_argument(
         "--out",

@@ -5,8 +5,14 @@ Each module exposes ``run(...) -> dict`` (plain rows/series) and a
 experiment index for the mapping to paper artifacts.
 """
 
-from . import ablations, extensions, fig2, fig3, fig4, table1, table2
-from .common import DATASET_NAMES, EXPERIMENT_SCALES, format_table
+from . import ablations, extensions, fig2, fig3, fig4, serving, table1, table2
+from .common import (
+    DATASET_NAMES,
+    EXPERIMENT_SCALES,
+    format_table,
+    to_jsonable,
+    write_bench_json,
+)
 from .plotting import ascii_bars, ascii_plot, ascii_speedup_plot
 from .repricing import iteration_time, phase_times_per_iteration, speedup_table
 
@@ -18,9 +24,12 @@ __all__ = [
     "table2",
     "ablations",
     "extensions",
+    "serving",
     "EXPERIMENT_SCALES",
     "DATASET_NAMES",
     "format_table",
+    "to_jsonable",
+    "write_bench_json",
     "phase_times_per_iteration",
     "iteration_time",
     "speedup_table",

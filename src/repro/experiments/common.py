@@ -8,9 +8,18 @@ assert on the returned data.
 
 from __future__ import annotations
 
+import json
+import pathlib
 from typing import Iterable, Mapping
 
-__all__ = ["EXPERIMENT_SCALES", "DATASET_NAMES", "format_table", "format_float"]
+__all__ = [
+    "EXPERIMENT_SCALES",
+    "DATASET_NAMES",
+    "format_table",
+    "format_float",
+    "to_jsonable",
+    "write_bench_json",
+]
 
 # Default generation scales per dataset (fraction of published vertex
 # count), chosen so each profile lands in the 1-4k vertex range where a
@@ -39,6 +48,41 @@ def format_float(x: object, digits: int = 3) -> str:
     if isinstance(x, int) and abs(x) >= 1000:
         return f"{x:,}"
     return str(x)
+
+
+def to_jsonable(obj: object) -> object:
+    """Recursively convert experiment results to JSON-serializable data.
+
+    Handles numpy scalars/arrays, tuples, sets and non-finite floats
+    (mapped to ``None``, since JSON has no NaN/inf).
+    """
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set)):
+        return [to_jsonable(v) for v in obj]
+    if hasattr(obj, "tolist"):  # numpy arrays and scalars
+        return to_jsonable(obj.tolist())
+    if isinstance(obj, float):
+        return obj if obj == obj and abs(obj) != float("inf") else None
+    if isinstance(obj, (str, int, bool)) or obj is None:
+        return obj
+    return str(obj)
+
+
+def write_bench_json(
+    path: pathlib.Path | str, name: str, results: object
+) -> pathlib.Path:
+    """Write one benchmark's results as machine-readable JSON.
+
+    The ``BENCH_<name>.json`` files written next to the printed tables
+    are the cross-PR benchmark trajectory: each holds ``{"bench": name,
+    "results": ...}`` with everything converted via :func:`to_jsonable`.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"bench": name, "results": to_jsonable(results)}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def format_table(

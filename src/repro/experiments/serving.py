@@ -1,0 +1,221 @@
+"""Experiment S1 — serving-path comparison (naive vs batched vs ANN).
+
+Replays one Zipf-skewed query trace (skew mirroring the Amazon profile's
+degree distribution) through four server configurations and reports the
+paper-style table the ROADMAP's serving goal asks for: throughput,
+latency percentiles, cache hit-rate, shed count and recall@k.
+
+Configurations, cumulative:
+
+* ``naive``              — one brute-force scan per request, no queueing
+  amortization (the pre-PR ``cosine_nearest_neighbors`` serving story);
+* ``batched``            — micro-batched brute force (one GEMM per batch);
+* ``batched+cache``      — plus the LRU result cache;
+* ``batched+cache+ann``  — plus the cluster-pruned index with deadline
+  degradation.
+
+The trace's offered rate is calibrated to a multiple of the measured
+naive capacity so every configuration runs saturated: throughput then
+measures service capacity, and the shed counter shows what overload
+costs. Service times are measured around the real kernels; queue
+dynamics run on the virtual replay clock.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..serving.index import BruteForceIndex, recall_at_k
+from ..serving.server import EmbeddingServer, ServerConfig
+from ..serving.workload import zipf_trace
+from .common import format_table
+
+__all__ = ["mixture_embeddings", "run", "format_results", "CONFIG_NAMES"]
+
+CONFIG_NAMES = ("naive", "batched", "batched+cache", "batched+cache+ann")
+
+
+def mixture_embeddings(
+    num_vertices: int,
+    dim: int,
+    *,
+    num_components: int = 64,
+    spread: float = 0.2,
+    seed: int = 0,
+) -> np.ndarray:
+    """Gaussian-mixture embedding matrix standing in for a trained model.
+
+    Trained graph embeddings are clustered by construction (label
+    homogeneity is the quality metric in :mod:`repro.train.embedding`);
+    a mixture with per-component spread reproduces that geometry without
+    paying for a training run. For the real pipeline end-to-end, see
+    ``examples/serving_demo.py``.
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((num_components, dim))
+    centers /= np.linalg.norm(centers, axis=1, keepdims=True)
+    which = rng.integers(0, num_components, size=num_vertices)
+    return centers[which] + spread * rng.standard_normal((num_vertices, dim))
+
+
+def _calibrate_naive_qps(embeddings: np.ndarray, k: int, samples: int = 64) -> float:
+    """Measured single-request brute-force rate (requests/second)."""
+    index = BruteForceIndex(embeddings)
+    rng = np.random.default_rng(0)
+    qids = rng.integers(0, embeddings.shape[0], size=samples)
+    index.search_ids(qids[:4], k)  # warm the kernels
+    t0 = time.perf_counter()
+    for q in qids:
+        index.search_ids(np.array([q]), k)
+    elapsed = time.perf_counter() - t0
+    return samples / max(elapsed, 1e-9)
+
+
+def run(
+    *,
+    num_queries: int = 3000,
+    num_vertices: int = 12000,
+    dim: int = 64,
+    num_clusters: int = 64,
+    probes: int = 8,
+    skew: float = 1.1,
+    k: int = 10,
+    max_batch: int = 64,
+    queue_capacity: int = 128,
+    cache_capacity: int = 2048,
+    load_factor: float = 20.0,
+    seed: int = 0,
+) -> dict:
+    """Run the four-configuration serving comparison; return plain rows."""
+    emb = mixture_embeddings(
+        num_vertices, dim, num_components=num_clusters, seed=seed
+    )
+    naive_qps = _calibrate_naive_qps(emb, k)
+    rate = load_factor * naive_qps
+    trace = zipf_trace(
+        num_queries,
+        num_vertices,
+        skew=skew,
+        rate=rate,
+        k=k,
+        rng=np.random.default_rng(seed + 1),
+    )
+    # Exact answers for every request in the trace, for recall scoring.
+    exact_idx, _ = BruteForceIndex(emb).search_ids(trace.query_ids, k)
+
+    batch_wait = 2.0 * max_batch / rate
+    deadline = 8.0 * max_batch / naive_qps
+    configs: list[tuple[str, ServerConfig, str, dict]] = [
+        (
+            "naive",
+            ServerConfig(max_batch=1, queue_capacity=queue_capacity),
+            "brute",
+            {},
+        ),
+        (
+            "batched",
+            ServerConfig(
+                max_batch=max_batch,
+                max_wait=batch_wait,
+                queue_capacity=queue_capacity,
+            ),
+            "brute",
+            {},
+        ),
+        (
+            "batched+cache",
+            ServerConfig(
+                max_batch=max_batch,
+                max_wait=batch_wait,
+                queue_capacity=queue_capacity,
+                cache_capacity=cache_capacity,
+            ),
+            "brute",
+            {},
+        ),
+        (
+            "batched+cache+ann",
+            ServerConfig(
+                max_batch=max_batch,
+                max_wait=batch_wait,
+                queue_capacity=queue_capacity,
+                cache_capacity=cache_capacity,
+                deadline=deadline,
+                min_probes=max(2, probes // 4),
+            ),
+            "cluster",
+            {
+                "num_clusters": num_clusters,
+                "probes": probes,
+                "rng": np.random.default_rng(seed + 2),
+            },
+        ),
+    ]
+    rows = []
+    for name, cfg, kind, kwargs in configs:
+        server = EmbeddingServer(
+            emb, config=cfg, index=kind, index_kwargs=kwargs
+        )
+        replay = server.serve_trace(trace, collect_results=True)
+        m = replay.metrics
+        served_seqs = sorted(replay.results)
+        m.recall_at_k = recall_at_k(
+            np.array([replay.results[s] for s in served_seqs]),
+            exact_idx[served_seqs],
+        )
+        row = {"config": name, **m.as_dict()}
+        rows.append(row)
+    base = rows[0]["throughput_qps"]
+    for row in rows:
+        row["speedup_vs_naive"] = row["throughput_qps"] / base if base else 0.0
+    return {
+        "rows": rows,
+        "meta": {
+            "num_vertices": num_vertices,
+            "dim": dim,
+            "num_queries": num_queries,
+            "num_clusters": num_clusters,
+            "probes": probes,
+            "zipf_skew": skew,
+            "k": k,
+            "naive_qps_calibrated": naive_qps,
+            "offered_rate_qps": rate,
+            "load_factor": load_factor,
+            "seed": seed,
+        },
+    }
+
+
+_COLUMNS = [
+    "config",
+    "served",
+    "shed",
+    "throughput_qps",
+    "speedup_vs_naive",
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "hit_rate",
+    "recall_at_k",
+    "degraded_batches",
+]
+
+
+def format_results(results: dict) -> str:
+    """Render the comparison as the paper-style fixed-width table."""
+    meta = results["meta"]
+    title = (
+        "S1: embedding serving under a Zipf(%.2f) trace — "
+        "n=%d, d=%d, k=%d, offered %.0f qps (%.0fx naive capacity)"
+        % (
+            meta["zipf_skew"],
+            meta["num_vertices"],
+            meta["dim"],
+            meta["k"],
+            meta["offered_rate_qps"],
+            meta["load_factor"],
+        )
+    )
+    return format_table(results["rows"], columns=_COLUMNS, title=title)

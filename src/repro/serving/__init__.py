@@ -1,0 +1,53 @@
+"""Embedding-serving subsystem: the paper's downstream workload, built out.
+
+Section I motivates graph embedding with serving-time applications
+("content recommendation" by nearest-neighbor retrieval); the ROADMAP's
+north star is a system that serves heavy traffic. This package is that
+layer: it takes a trained model's embedding matrix and serves k-NN /
+vertex-embedding requests under a simulated request stream, with
+
+* :mod:`repro.serving.index` — exact and cluster-pruned ANN indexes plus
+  the recall@k evaluation helper;
+* :mod:`repro.serving.batcher` — the micro-batching admission queue;
+* :mod:`repro.serving.cache` — the generation-stamped LRU result cache;
+* :mod:`repro.serving.server` — the orchestrator with load shedding and
+  deadline-based ANN degradation;
+* :mod:`repro.serving.metrics` — latency percentiles, throughput,
+  hit-rate, recall;
+* :mod:`repro.serving.workload` — Zipf-skewed Poisson query traces.
+
+``python -m repro.cli serve-bench`` and ``benchmarks/bench_serving.py``
+replay the same trace through naive / batched / batched+cached+ANN
+configurations and print a paper-style comparison table.
+"""
+
+from .batcher import MicroBatcher, Request
+from .cache import LRUCache
+from .index import (
+    BruteForceIndex,
+    ClusterIndex,
+    build_index,
+    l2_normalize_rows,
+    recall_at_k,
+)
+from .metrics import LatencyHistogram, ServingMetrics
+from .server import EmbeddingServer, ServerConfig, TraceReplay
+from .workload import QueryTrace, zipf_trace
+
+__all__ = [
+    "BruteForceIndex",
+    "ClusterIndex",
+    "build_index",
+    "l2_normalize_rows",
+    "recall_at_k",
+    "MicroBatcher",
+    "Request",
+    "LRUCache",
+    "LatencyHistogram",
+    "ServingMetrics",
+    "EmbeddingServer",
+    "ServerConfig",
+    "TraceReplay",
+    "QueryTrace",
+    "zipf_trace",
+]

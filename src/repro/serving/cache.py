@@ -1,0 +1,93 @@
+"""LRU result cache for the embedding server.
+
+Serving traffic is heavily skewed — the Amazon profile's power-law degree
+distribution translates into a power-law query popularity under any
+degree-correlated workload — so a small exact-result cache absorbs a
+large fraction of requests. Entries are keyed on ``(query_id, k)`` and
+carry the embedding *generation* they were computed against: refreshing
+the embedding matrix bumps the generation, which invalidates every stale
+entry without an O(capacity) sweep.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """Bounded LRU map with hit/miss accounting and bulk invalidation."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._data: OrderedDict[Hashable, tuple[int, object]] = OrderedDict()
+        self.generation = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        entry = self._data.get(key)
+        return entry is not None and entry[0] == self.generation
+
+    def get(self, key: Hashable) -> object | None:
+        """Return the cached value (refreshing recency) or ``None``.
+
+        Entries written against an older embedding generation count as
+        misses and are dropped on touch.
+        """
+        entry = self._data.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        gen, value = entry
+        if gen != self.generation:
+            del self._data[key]
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert/overwrite ``key``, evicting the LRU entry when full."""
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = (self.generation, value)
+        if len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self) -> None:
+        """Drop every entry (embeddings refreshed): O(1) generation bump."""
+        self.generation += 1
+        self.invalidations += 1
+        # Old-generation entries are dead weight; clear eagerly so the
+        # capacity is available to fresh results immediately.
+        self._data.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        """Counters snapshot for the metrics report."""
+        return {
+            "size": float(len(self._data)),
+            "capacity": float(self.capacity),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "hit_rate": self.hit_rate,
+            "evictions": float(self.evictions),
+            "invalidations": float(self.invalidations),
+        }

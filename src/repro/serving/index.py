@@ -1,0 +1,368 @@
+"""Similarity indexes for embedding serving.
+
+The paper motivates graph embedding with downstream nearest-neighbor
+workloads ("content recommendation", Section I). Serving those queries
+against a large embedding matrix is a retrieval problem, not a training
+problem: a brute-force scan touches all ``n`` rows per query, while a
+cluster-pruned index (the classic IVF/cluster-pruning scheme) buckets
+vertices by k-means cell and probes only the ``p`` cells whose centroids
+are closest to the query — an ``n/c * p`` fraction of the rows for a
+controlled recall loss.
+
+Two index types share one search contract:
+
+* :class:`BruteForceIndex` — exact, memory-bounded (query chunking), the
+  oracle the approximate index is measured against;
+* :class:`ClusterIndex` — spherical k-means cells (or externally supplied
+  assignments, e.g. a :mod:`repro.graphs.partition` partition) with a
+  tunable ``probes`` knob, the accuracy/latency dial the server's
+  deadline-degradation uses.
+
+:func:`recall_at_k` is the standard evaluation: fraction of the exact
+top-k recovered by the approximate search.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "l2_normalize_rows",
+    "BruteForceIndex",
+    "ClusterIndex",
+    "recall_at_k",
+    "build_index",
+]
+
+
+def l2_normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """L2-normalize rows (zero rows stay zero)."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    return np.divide(
+        matrix, norms, out=np.zeros_like(matrix), where=norms > 0
+    )
+
+
+def _query_chunks(num_queries: int, chunk_size: int | None) -> list[range]:
+    """Split ``range(num_queries)`` into contiguous chunks.
+
+    A trailing chunk of a single row is merged into its predecessor: BLAS
+    dispatches 1-row products to a GEMV kernel whose accumulation order
+    can differ from the GEMM path, and chunking must not change results.
+    """
+    if chunk_size is None or chunk_size >= num_queries:
+        return [range(num_queries)] if num_queries else []
+    chunk_size = max(int(chunk_size), 1)
+    bounds = list(range(0, num_queries, chunk_size)) + [num_queries]
+    if len(bounds) > 2 and bounds[-1] - bounds[-2] == 1 and chunk_size > 1:
+        del bounds[-2]
+    return [range(a, b) for a, b in zip(bounds[:-1], bounds[1:])]
+
+
+def _topk_rows(sims: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise top-k (descending) of a similarity block.
+
+    Same argpartition-then-argsort scheme the original
+    ``cosine_nearest_neighbors`` used, so tie ordering is preserved.
+    """
+    k = min(k, sims.shape[1])
+    idx = np.argpartition(-sims, kth=k - 1, axis=1)[:, :k]
+    row = np.arange(sims.shape[0])[:, None]
+    order = np.argsort(-sims[row, idx], axis=1)
+    idx = idx[row, order]
+    return idx, sims[row, idx]
+
+
+def recall_at_k(approx_idx: np.ndarray, exact_idx: np.ndarray) -> float:
+    """Mean fraction of the exact top-k present in the approximate top-k.
+
+    Rows are queries; ``-1`` entries (padding for queries with fewer than
+    ``k`` candidates) are ignored on both sides.
+    """
+    approx_idx = np.asarray(approx_idx)
+    exact_idx = np.asarray(exact_idx)
+    if approx_idx.shape[0] != exact_idx.shape[0]:
+        raise ValueError("query counts differ")
+    if exact_idx.size == 0:
+        return 1.0
+    scores = []
+    for a, e in zip(approx_idx, exact_idx):
+        truth = set(int(x) for x in e if x >= 0)
+        if not truth:
+            continue
+        got = set(int(x) for x in a if x >= 0)
+        scores.append(len(got & truth) / len(truth))
+    return float(np.mean(scores)) if scores else 1.0
+
+
+class BruteForceIndex:
+    """Exact cosine top-k over the full embedding matrix.
+
+    Queries are processed in chunks of ``chunk_size`` rows so the
+    intermediate ``(chunk, n)`` similarity block — not ``(B, n)`` — is
+    the peak memory cost.
+    """
+
+    def __init__(self, embeddings: np.ndarray, *, chunk_size: int = 1024):
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self._normed = l2_normalize_rows(embeddings)
+        self.chunk_size = chunk_size
+
+    @property
+    def num_vectors(self) -> int:
+        """Number of indexed rows."""
+        return self._normed.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Embedding dimensionality."""
+        return self._normed.shape[1]
+
+    # Cost accounting hook: rows scanned by the last search (the server's
+    # service model and the bench report both read it).
+    last_rows_scanned: int = 0
+
+    def search(
+        self,
+        query_vecs: np.ndarray,
+        k: int,
+        *,
+        exclude: np.ndarray | None = None,
+        probes: int | None = None,
+        normalized: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` cosine neighbors of each query vector.
+
+        ``exclude[i]`` (optional) is a vertex id masked out of query
+        ``i``'s candidates — self-exclusion for query-by-vertex.
+        ``probes`` is accepted (and ignored) so both index types can be
+        driven through one call signature. ``normalized`` skips query
+        normalization when the caller guarantees unit rows (the
+        query-by-id path — renormalizing would perturb the last ulp).
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        query_vecs = np.atleast_2d(np.asarray(query_vecs, dtype=np.float64))
+        qn = query_vecs if normalized else l2_normalize_rows(query_vecs)
+        num_q = qn.shape[0]
+        k = min(k, self.num_vectors - (1 if exclude is not None else 0))
+        k = max(k, 1)
+        idx_out = np.empty((num_q, k), dtype=np.int64)
+        sim_out = np.empty((num_q, k), dtype=np.float64)
+        for chunk in _query_chunks(num_q, self.chunk_size):
+            rows = slice(chunk.start, chunk.stop)
+            sims = qn[rows] @ self._normed.T
+            if exclude is not None:
+                sims[
+                    np.arange(chunk.stop - chunk.start),
+                    np.asarray(exclude)[rows],
+                ] = -np.inf
+            idx_out[rows], _ = _topk_rows(sims, k)
+            # Recompute the returned similarities as independent per-pair
+            # dots: unlike the GEMM block (whose accumulation order — and
+            # last ulp — depends on the chunk's row count), each pair's
+            # reduction is fixed, so results are bit-identical under any
+            # chunking.
+            sim_out[rows] = np.einsum(
+                "qd,qkd->qk", qn[rows], self._normed[idx_out[rows]]
+            )
+        self.last_rows_scanned = num_q * self.num_vectors
+        return idx_out, sim_out
+
+    def search_ids(
+        self, query_ids: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` neighbors of indexed vertices, excluding themselves."""
+        query_ids = np.asarray(query_ids, dtype=np.int64).ravel()
+        return self.search(
+            self._normed[query_ids], k, exclude=query_ids, normalized=True
+        )
+
+
+def _spherical_kmeans(
+    normed: np.ndarray,
+    num_clusters: int,
+    rng: np.random.Generator,
+    iters: int = 12,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lloyd's iterations with cosine assignment on unit vectors.
+
+    Returns ``(centroids, assignments)``; empty clusters are reseeded to
+    the point currently worst-served by its centroid.
+    """
+    n = normed.shape[0]
+    start = rng.choice(n, size=num_clusters, replace=False)
+    centroids = normed[start].copy()
+    assignments = np.zeros(n, dtype=np.int64)
+    for _ in range(iters):
+        sims = normed @ centroids.T
+        assignments = sims.argmax(axis=1)
+        best = sims[np.arange(n), assignments]
+        for c in range(num_clusters):
+            members = assignments == c
+            if not members.any():
+                worst = int(np.argmin(best))
+                centroids[c] = normed[worst]
+                assignments[worst] = c
+                best[worst] = 1.0
+                continue
+            mean = normed[members].mean(axis=0)
+            norm = np.linalg.norm(mean)
+            centroids[c] = mean / norm if norm > 0 else normed[members][0]
+    return centroids, assignments
+
+
+class ClusterIndex:
+    """Cluster-pruned approximate index (IVF over k-means cells).
+
+    Search ranks the ``num_clusters`` centroids against the query and
+    scans only the members of the top-``probes`` cells. ``probes`` is the
+    recall/latency dial: ``probes == num_clusters`` degenerates to an
+    exact scan (plus the centroid pass).
+    """
+
+    def __init__(
+        self,
+        embeddings: np.ndarray,
+        *,
+        num_clusters: int | None = None,
+        probes: int = 4,
+        assignments: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+        kmeans_iters: int = 12,
+    ):
+        self._normed = l2_normalize_rows(embeddings)
+        n = self._normed.shape[0]
+        if n == 0:
+            raise ValueError("cannot index an empty embedding matrix")
+        if assignments is not None:
+            assignments = np.asarray(assignments, dtype=np.int64).ravel()
+            if assignments.shape[0] != n:
+                raise ValueError("assignments length != number of rows")
+            num_clusters = int(assignments.max()) + 1
+            centroids = np.zeros((num_clusters, self._normed.shape[1]))
+            for c in range(num_clusters):
+                members = assignments == c
+                if members.any():
+                    centroids[c] = self._normed[members].mean(axis=0)
+            centroids = l2_normalize_rows(centroids)
+        else:
+            if num_clusters is None:
+                num_clusters = max(1, min(n, int(round(np.sqrt(n)))))
+            if not 1 <= num_clusters <= n:
+                raise ValueError("num_clusters must be in [1, n]")
+            rng = rng or np.random.default_rng(0)
+            centroids, assignments = _spherical_kmeans(
+                self._normed, num_clusters, rng, iters=kmeans_iters
+            )
+        self.centroids = centroids
+        self.assignments = assignments
+        self.num_clusters = num_clusters
+        self.default_probes = int(np.clip(probes, 1, num_clusters))
+        self._members = [
+            np.flatnonzero(assignments == c) for c in range(num_clusters)
+        ]
+        self.last_rows_scanned = 0
+
+    @property
+    def num_vectors(self) -> int:
+        """Number of indexed rows."""
+        return self._normed.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Embedding dimensionality."""
+        return self._normed.shape[1]
+
+    def search(
+        self,
+        query_vecs: np.ndarray,
+        k: int,
+        *,
+        probes: int | None = None,
+        exclude: np.ndarray | None = None,
+        normalized: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Probed top-``k``: scan members of the ``probes`` nearest cells.
+
+        One matmul per *probed cell* over all queries probing it, so a
+        micro-batch of queries amortizes the cell scans the same way
+        Algorithm 1 amortizes aggregation over a sampled subgraph.
+        Queries with fewer than ``k`` candidates pad ``indices`` with
+        ``-1`` and ``similarities`` with ``-inf``.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        query_vecs = np.atleast_2d(np.asarray(query_vecs, dtype=np.float64))
+        qn = query_vecs if normalized else l2_normalize_rows(query_vecs)
+        num_q = qn.shape[0]
+        p = int(np.clip(probes or self.default_probes, 1, self.num_clusters))
+        cent_sims = qn @ self.centroids.T
+        if p < self.num_clusters:
+            probe_sets = np.argpartition(-cent_sims, kth=p - 1, axis=1)[:, :p]
+        else:
+            probe_sets = np.tile(np.arange(self.num_clusters), (num_q, 1))
+        # Invert: for each cell, which queries probe it → one gemm/cell.
+        cand_ids: list[list[np.ndarray]] = [[] for _ in range(num_q)]
+        cand_sims: list[list[np.ndarray]] = [[] for _ in range(num_q)]
+        scanned = 0
+        for c in range(self.num_clusters):
+            querying = np.flatnonzero((probe_sets == c).any(axis=1))
+            members = self._members[c]
+            if querying.size == 0 or members.size == 0:
+                continue
+            block = qn[querying] @ self._normed[members].T
+            scanned += querying.size * members.size
+            for row, q in enumerate(querying):
+                cand_ids[q].append(members)
+                cand_sims[q].append(block[row])
+        self.last_rows_scanned = scanned
+        idx_out = np.full((num_q, k), -1, dtype=np.int64)
+        sim_out = np.full((num_q, k), -np.inf, dtype=np.float64)
+        exclude = None if exclude is None else np.asarray(exclude).ravel()
+        for q in range(num_q):
+            if not cand_ids[q]:
+                continue
+            ids = np.concatenate(cand_ids[q])
+            sims = np.concatenate(cand_sims[q])
+            if exclude is not None:
+                keep = ids != exclude[q]
+                ids, sims = ids[keep], sims[keep]
+            if ids.size == 0:
+                continue
+            kk = min(k, ids.size)
+            top = np.argpartition(-sims, kth=kk - 1)[:kk]
+            top = top[np.argsort(-sims[top])]
+            idx_out[q, :kk] = ids[top]
+            sim_out[q, :kk] = sims[top]
+        return idx_out, sim_out
+
+    def search_ids(
+        self, query_ids: np.ndarray, k: int, *, probes: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` neighbors of indexed vertices, excluding themselves."""
+        query_ids = np.asarray(query_ids, dtype=np.int64).ravel()
+        return self.search(
+            self._normed[query_ids],
+            k,
+            probes=probes,
+            exclude=query_ids,
+            normalized=True,
+        )
+
+
+def build_index(
+    embeddings: np.ndarray,
+    kind: str = "brute",
+    **kwargs,
+) -> BruteForceIndex | ClusterIndex:
+    """Factory: ``"brute"`` → :class:`BruteForceIndex`, ``"cluster"`` →
+    :class:`ClusterIndex`. Keyword arguments pass through to the chosen
+    constructor."""
+    if kind == "brute":
+        return BruteForceIndex(embeddings, **kwargs)
+    if kind == "cluster":
+        return ClusterIndex(embeddings, **kwargs)
+    raise ValueError(f"unknown index kind {kind!r}")

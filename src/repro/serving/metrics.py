@@ -1,0 +1,160 @@
+"""Serving metrics: latency percentiles, throughput, hit-rate, recall.
+
+The paper reports its systems results as tables of measured quantities;
+the serving layer does the same. :class:`LatencyHistogram` keeps raw
+samples and computes exact percentiles (linear interpolation, matching
+``np.percentile``'s default), so the p50/p95/p99 columns are testable
+against the numpy oracle rather than approximations from fixed buckets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LatencyHistogram", "ServingMetrics"]
+
+
+class LatencyHistogram:
+    """Latency sample accumulator with exact percentile queries."""
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+
+    def record(self, value: float) -> None:
+        """Add one latency sample (seconds)."""
+        if value < 0:
+            raise ValueError("latency cannot be negative")
+        self._samples.append(float(value))
+
+    def extend(self, values) -> None:
+        """Add many samples."""
+        for v in values:
+            self.record(v)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self._samples)
+
+    def percentile(self, q: float) -> float:
+        """Exact ``q``-th percentile (linear interpolation); NaN if empty."""
+        if not 0 <= q <= 100:
+            raise ValueError("q must be in [0, 100]")
+        if not self._samples:
+            return float("nan")
+        xs = np.sort(np.asarray(self._samples))
+        # Linear interpolation between closest ranks, the numpy default.
+        pos = (q / 100.0) * (xs.size - 1)
+        lo = int(np.floor(pos))
+        hi = int(np.ceil(pos))
+        frac = pos - lo
+        return float(xs[lo] * (1.0 - frac) + xs[hi] * frac)
+
+    def mean(self) -> float:
+        """Arithmetic mean; NaN if empty."""
+        return float(np.mean(self._samples)) if self._samples else float("nan")
+
+    def max(self) -> float:
+        """Largest sample; NaN if empty."""
+        return float(np.max(self._samples)) if self._samples else float("nan")
+
+    def summary(self, scale: float = 1.0) -> dict[str, float]:
+        """p50/p95/p99/mean/max/count, with values multiplied by ``scale``
+        (e.g. ``1e3`` for milliseconds)."""
+        return {
+            "count": float(self.count),
+            "p50": self.percentile(50) * scale,
+            "p95": self.percentile(95) * scale,
+            "p99": self.percentile(99) * scale,
+            "mean": self.mean() * scale,
+            "max": self.max() * scale,
+        }
+
+
+@dataclass
+class ServingMetrics:
+    """Aggregate counters for one serving run.
+
+    Latency is completion minus arrival on the replay clock; throughput
+    is served requests over the span from first arrival to last
+    completion. ``shed`` counts load-shedding drops at the admission
+    queue, ``degraded_batches`` counts batches served with reduced ANN
+    probes because the head request blew its deadline.
+    """
+
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    served: int = 0
+    shed: int = 0
+    batches: int = 0
+    degraded_batches: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    rows_scanned: int = 0
+    service_time_total: float = 0.0
+    first_arrival: float | None = None
+    last_completion: float = 0.0
+    recall_at_k: float | None = None
+
+    def observe_arrival(self, t: float) -> None:
+        """Track the earliest arrival (throughput span start)."""
+        if self.first_arrival is None or t < self.first_arrival:
+            self.first_arrival = t
+
+    def observe_completion(self, arrival: float, completion: float) -> None:
+        """Record one served request's latency and completion time."""
+        self.latency.record(max(completion - arrival, 0.0))
+        self.served += 1
+        self.last_completion = max(self.last_completion, completion)
+
+    @property
+    def offered(self) -> int:
+        """Requests that reached the server (served + shed)."""
+        return self.served + self.shed
+
+    @property
+    def span(self) -> float:
+        """First arrival to last completion, on the replay clock."""
+        if self.first_arrival is None:
+            return 0.0
+        return max(self.last_completion - self.first_arrival, 0.0)
+
+    @property
+    def throughput(self) -> float:
+        """Served requests per second of span (0.0 for an empty run)."""
+        return self.served / self.span if self.span > 0 else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits / lookups (0.0 without a cache)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        """Shed / offered (0.0 for an empty run)."""
+        return self.shed / self.offered if self.offered else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat summary row (latencies in milliseconds)."""
+        lat = self.latency.summary(scale=1e3)
+        out = {
+            "served": float(self.served),
+            "shed": float(self.shed),
+            "throughput_qps": self.throughput,
+            "p50_ms": lat["p50"],
+            "p95_ms": lat["p95"],
+            "p99_ms": lat["p99"],
+            "mean_ms": lat["mean"],
+            "hit_rate": self.hit_rate,
+            "batches": float(self.batches),
+            "degraded_batches": float(self.degraded_batches),
+            "rows_scanned": float(self.rows_scanned),
+        }
+        if self.recall_at_k is not None:
+            out["recall_at_k"] = self.recall_at_k
+        return out

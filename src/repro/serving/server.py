@@ -1,0 +1,229 @@
+"""The embedding query server: index + micro-batcher + cache + metrics.
+
+:class:`EmbeddingServer` replays a request trace through a discrete-event
+loop: arrivals come from the trace's (virtual) clock, service times are
+either *measured* around the real index kernels (honest wall-clock cost,
+the benchmark mode) or supplied by a deterministic ``service_model``
+(the unit-test mode). Queueing, micro-batch formation, load shedding and
+deadline-based degradation all happen on the virtual clock, so overload
+behavior is reproducible while compute cost stays real.
+
+Overload handling, in order of escalation:
+
+1. **micro-batching** — pending queries coalesce into one batched scan
+   (up to ``max_batch``), amortizing the kernel launch;
+2. **deadline degradation** — when the batch's head request has waited
+   past ``deadline``, an ANN index is probed with half the cells per
+   deadline overrun (never below ``min_probes``): latency is bought with
+   bounded recall loss;
+3. **load shedding** — arrivals beyond ``queue_capacity`` pending
+   requests are dropped and counted, keeping worst-case latency bounded.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .batcher import MicroBatcher, Request
+from .cache import LRUCache
+from .index import BruteForceIndex, ClusterIndex, build_index
+from .metrics import ServingMetrics
+from .workload import QueryTrace
+
+__all__ = ["ServerConfig", "TraceReplay", "EmbeddingServer"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Knobs for one server instance (see module docstring)."""
+
+    max_batch: int = 32
+    max_wait: float = 0.0  # seconds a partial batch waits for company
+    queue_capacity: int = 256  # pending requests before shedding
+    cache_capacity: int = 0  # 0 disables the result cache
+    deadline: float | None = None  # None disables probe degradation
+    min_probes: int = 1
+
+
+@dataclass
+class TraceReplay:
+    """Outcome of one trace replay: metrics plus (optionally) results."""
+
+    metrics: ServingMetrics
+    results: dict[int, np.ndarray] | None = None  # trace seq -> top-k ids
+    batch_stats: dict[str, float] = field(default_factory=dict)
+
+
+class EmbeddingServer:
+    """Serve k-NN queries over an embedding matrix under load."""
+
+    def __init__(
+        self,
+        embeddings: np.ndarray,
+        *,
+        config: ServerConfig | None = None,
+        index: str | BruteForceIndex | ClusterIndex = "brute",
+        index_kwargs: dict | None = None,
+        service_model: Callable[[int, int], float] | None = None,
+    ):
+        self.config = config or ServerConfig()
+        if isinstance(index, str):
+            self.index = build_index(embeddings, index, **(index_kwargs or {}))
+        else:
+            self.index = index
+        self.cache = (
+            LRUCache(self.config.cache_capacity)
+            if self.config.cache_capacity > 0
+            else None
+        )
+        # service_model(batch_size, rows_scanned) -> seconds; None means
+        # measure the real kernel time with perf_counter.
+        self.service_model = service_model
+        self.refreshes = 0
+
+    # ------------------------------------------------------------------
+    # Single-request path (no queueing — the convenience API).
+    def query(self, query_id: int, k: int = 10) -> np.ndarray:
+        """Top-``k`` neighbor ids of one vertex, through the cache."""
+        key = (int(query_id), int(k))
+        if self.cache is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                return hit
+        idx, _ = self.index.search_ids(np.array([query_id]), k)
+        result = idx[0].copy()
+        if self.cache is not None:
+            self.cache.put(key, result)
+        return result
+
+    def refresh_embeddings(self, embeddings: np.ndarray) -> None:
+        """Swap in a new embedding matrix: rebuild the index with the
+        same structure and invalidate every cached result."""
+        if isinstance(self.index, ClusterIndex):
+            self.index = ClusterIndex(
+                embeddings,
+                num_clusters=self.index.num_clusters,
+                probes=self.index.default_probes,
+                rng=np.random.default_rng(0),
+            )
+        else:
+            self.index = BruteForceIndex(
+                embeddings, chunk_size=self.index.chunk_size
+            )
+        if self.cache is not None:
+            self.cache.invalidate()
+        self.refreshes += 1
+
+    # ------------------------------------------------------------------
+    # Trace replay.
+    def serve_trace(
+        self, trace: QueryTrace, *, collect_results: bool = False
+    ) -> TraceReplay:
+        """Replay ``trace`` through the event loop; return metrics."""
+        cfg = self.config
+        metrics = ServingMetrics()
+        batcher = MicroBatcher(
+            max_batch=cfg.max_batch,
+            max_wait=cfg.max_wait,
+            capacity=cfg.queue_capacity,
+        )
+        results: dict[int, np.ndarray] | None = (
+            {} if collect_results else None
+        )
+        busy_until = 0.0
+        i, n = 0, len(trace)
+        ids, arrivals = trace.query_ids, trace.arrivals
+        while i < n or len(batcher):
+            if len(batcher):
+                t_start = batcher.ready_time(busy_until)
+                # Dispatch if no future arrival precedes the batch start.
+                if i >= n or t_start <= arrivals[i]:
+                    busy_until = self._run_batch(
+                        batcher, t_start, metrics, results
+                    )
+                    continue
+            qid, t = int(ids[i]), float(arrivals[i])
+            seq = i
+            i += 1
+            metrics.observe_arrival(t)
+            if self.cache is not None:
+                t0 = time.perf_counter()
+                hit = self.cache.get((qid, trace.k))
+                lookup = time.perf_counter() - t0
+                if hit is not None:
+                    metrics.cache_hits += 1
+                    cost = (
+                        lookup if self.service_model is None else 0.0
+                    )
+                    metrics.observe_completion(t, t + cost)
+                    if results is not None:
+                        results[seq] = hit
+                    continue
+                metrics.cache_misses += 1
+            if not batcher.offer(Request(qid, trace.k, t, seq)):
+                metrics.shed += 1
+        metrics.last_completion = max(metrics.last_completion, busy_until)
+        return TraceReplay(
+            metrics=metrics,
+            results=results,
+            batch_stats=batcher.stats.as_dict(),
+        )
+
+    def _effective_probes(
+        self, lateness: float, metrics: ServingMetrics
+    ) -> int | None:
+        """Degraded probe count for a late batch (ANN indexes only)."""
+        if not isinstance(self.index, ClusterIndex):
+            return None
+        base = self.index.default_probes
+        if self.config.deadline is None or lateness <= self.config.deadline:
+            return base
+        halvings = min(int(lateness / self.config.deadline), 16)
+        effective = max(self.config.min_probes, base >> halvings)
+        if effective < base:
+            metrics.degraded_batches += 1
+        return effective
+
+    def _run_batch(
+        self,
+        batcher: MicroBatcher,
+        t_start: float,
+        metrics: ServingMetrics,
+        results: dict[int, np.ndarray] | None,
+    ) -> float:
+        """Serve one batch at virtual time ``t_start``; return busy-until."""
+        batch = batcher.take()
+        metrics.batches += 1
+        lateness = t_start - batch[0].arrival
+        probes = self._effective_probes(lateness, metrics)
+        qids = np.fromiter(
+            (r.query_id for r in batch), dtype=np.int64, count=len(batch)
+        )
+        kmax = max(r.k for r in batch)
+        t0 = time.perf_counter()
+        if probes is None:
+            idx, _ = self.index.search_ids(qids, kmax)
+        else:
+            idx, _ = self.index.search_ids(qids, kmax, probes=probes)
+        measured = time.perf_counter() - t0
+        rows = getattr(self.index, "last_rows_scanned", 0)
+        duration = (
+            measured
+            if self.service_model is None
+            else self.service_model(len(batch), rows)
+        )
+        completion = t_start + duration
+        metrics.rows_scanned += rows
+        metrics.service_time_total += duration
+        for row, req in zip(idx, batch):
+            answer = row[: req.k].copy()
+            metrics.observe_completion(req.arrival, completion)
+            if self.cache is not None:
+                self.cache.put((req.query_id, req.k), answer)
+            if results is not None:
+                results[req.seq] = answer
+        return completion

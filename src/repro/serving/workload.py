@@ -1,0 +1,103 @@
+"""Synthetic query workloads for the serving benchmarks.
+
+Real retrieval traffic is popularity-skewed. We model query popularity
+as a Zipf law over vertex rank — ``P(rank r) ∝ (r+1)^-skew`` — which is
+the request-side analogue of the Amazon profile's power-law *degree*
+distribution (Table I): the same hub vertices that dominate edges
+dominate lookups in any degree-correlated workload. Arrivals are Poisson
+at a configurable offered rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["QueryTrace", "zipf_trace"]
+
+
+@dataclass(frozen=True)
+class QueryTrace:
+    """A replayable request stream: parallel arrays of ids and arrivals."""
+
+    query_ids: np.ndarray  # (n,) int64 vertex ids
+    arrivals: np.ndarray  # (n,) float64 seconds, non-decreasing
+    k: int  # neighbors requested per query
+    skew: float  # Zipf exponent the ids were drawn with
+
+    def __post_init__(self) -> None:
+        if self.query_ids.shape != self.arrivals.shape:
+            raise ValueError("query_ids and arrivals must align")
+        if np.any(np.diff(self.arrivals) < 0):
+            raise ValueError("arrivals must be non-decreasing")
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+
+    def __len__(self) -> int:
+        return int(self.query_ids.shape[0])
+
+    @property
+    def offered_rate(self) -> float:
+        """Mean arrival rate (requests/second) over the trace span."""
+        if len(self) < 2:
+            return 0.0
+        span = float(self.arrivals[-1] - self.arrivals[0])
+        return (len(self) - 1) / span if span > 0 else float("inf")
+
+    def unique_queries(self) -> np.ndarray:
+        """Distinct vertex ids appearing in the trace (sorted)."""
+        return np.unique(self.query_ids)
+
+    def rescaled(self, rate: float) -> "QueryTrace":
+        """Same queries, arrival gaps rescaled to a new offered rate."""
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        current = self.offered_rate
+        if current in (0.0, float("inf")):
+            raise ValueError("trace has no usable span to rescale")
+        factor = current / rate
+        return QueryTrace(
+            query_ids=self.query_ids,
+            arrivals=(self.arrivals - self.arrivals[0]) * factor,
+            k=self.k,
+            skew=self.skew,
+        )
+
+
+def zipf_trace(
+    num_queries: int,
+    num_vertices: int,
+    *,
+    skew: float = 1.1,
+    rate: float = 1000.0,
+    k: int = 10,
+    rng: np.random.Generator | None = None,
+) -> QueryTrace:
+    """Zipf-skewed query ids with Poisson arrivals.
+
+    Popularity rank is decoupled from vertex id by a random permutation,
+    so hot vertices are scattered across the id space (as they are in a
+    relabeled real graph). All randomness flows through ``rng``.
+    """
+    if num_queries < 1:
+        raise ValueError("num_queries must be >= 1")
+    if num_vertices < 1:
+        raise ValueError("num_vertices must be >= 1")
+    if skew < 0:
+        raise ValueError("skew must be >= 0")
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    rng = rng or np.random.default_rng(0)
+    weights = (np.arange(num_vertices, dtype=np.float64) + 1.0) ** (-skew)
+    weights /= weights.sum()
+    ranks = rng.choice(num_vertices, size=num_queries, p=weights)
+    rank_to_vertex = rng.permutation(num_vertices)
+    gaps = rng.exponential(scale=1.0 / rate, size=num_queries)
+    gaps[0] = 0.0
+    return QueryTrace(
+        query_ids=rank_to_vertex[ranks].astype(np.int64),
+        arrivals=np.cumsum(gaps),
+        k=k,
+        skew=skew,
+    )

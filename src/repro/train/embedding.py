@@ -15,6 +15,7 @@ import numpy as np
 from ..graphs.datasets import Dataset
 from ..nn.network import GCN
 from ..propagation.spmm import MeanAggregator
+from ..serving.index import BruteForceIndex
 
 __all__ = [
     "compute_embeddings",
@@ -40,24 +41,25 @@ def normalize_embeddings(embeddings: np.ndarray) -> np.ndarray:
 
 
 def cosine_nearest_neighbors(
-    embeddings: np.ndarray, queries: np.ndarray, k: int = 10
+    embeddings: np.ndarray,
+    queries: np.ndarray,
+    k: int = 10,
+    *,
+    chunk_size: int | None = 1024,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Top-``k`` cosine neighbors of each query vertex.
 
     Returns ``(indices, similarities)`` of shape ``(len(queries), k)``;
-    each query's own row is excluded.
+    each query's own row is excluded. Queries are scanned in blocks of
+    ``chunk_size`` rows so peak memory is ``O(chunk_size * n)`` instead
+    of ``O(len(queries) * n)``; the chunking does not change results.
+
+    Delegates to :class:`repro.serving.index.BruteForceIndex` — the same
+    exact-search code path the serving subsystem uses as its oracle.
     """
-    if k < 1:
-        raise ValueError("k must be >= 1")
-    normed = normalize_embeddings(embeddings)
-    sims = normed[queries] @ normed.T
-    sims[np.arange(queries.shape[0]), queries] = -np.inf
-    k = min(k, embeddings.shape[0] - 1)
-    idx = np.argpartition(-sims, kth=k - 1, axis=1)[:, :k]
-    row = np.arange(queries.shape[0])[:, None]
-    order = np.argsort(-sims[row, idx], axis=1)
-    idx = idx[row, order]
-    return idx, sims[row, idx]
+    queries = np.asarray(queries, dtype=np.int64)
+    index = BruteForceIndex(embeddings, chunk_size=chunk_size)
+    return index.search_ids(queries, k)
 
 
 def label_homogeneity(

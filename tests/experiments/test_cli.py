@@ -10,7 +10,16 @@ from repro.cli import build_parser, main
 class TestParser:
     def test_known_experiments(self):
         parser = build_parser()
-        for name in ("table1", "fig2", "fig3", "fig4", "table2", "ablations", "all"):
+        for name in (
+            "table1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "table2",
+            "ablations",
+            "serve-bench",
+            "all",
+        ):
             args = parser.parse_args([name])
             assert args.experiment == name
 
@@ -26,6 +35,13 @@ class TestParser:
         assert args.hidden == 256
         assert args.seed == 7
 
+    def test_serve_bench_options(self):
+        args = build_parser().parse_args(
+            ["serve-bench", "--queries", "500", "--load-factor", "5.0"]
+        )
+        assert args.queries == 500
+        assert args.load_factor == 5.0
+
 
 class TestMain:
     def test_table1_to_stdout_and_file(self, tmp_path, capsys):
@@ -39,6 +55,16 @@ class TestMain:
         rc = main(["fig4", "--datasets", "ppi"])
         assert rc == 0
         assert "Figure 4A" in capsys.readouterr().out
+
+    def test_serve_bench_writes_table_and_json(self, tmp_path, capsys):
+        rc = main(
+            ["serve-bench", "--queries", "300", "--out", str(tmp_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "naive" in out and "batched+cache+ann" in out
+        assert (tmp_path / "serve_bench.txt").exists()
+        assert (tmp_path / "BENCH_serve_bench.json").exists()
 
 
 class TestReport:

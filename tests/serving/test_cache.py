@@ -1,0 +1,70 @@
+"""Tests for the LRU result cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.cache import LRUCache
+
+
+class TestLRUCache:
+    def test_basic_put_get(self):
+        cache = LRUCache(4)
+        cache.put(("q", 10), "value")
+        assert cache.get(("q", 10)) == "value"
+        assert cache.get(("other", 10)) is None
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a" — "b" is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert len(cache) == 2
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # overwrite refreshes "a"
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 10
+
+    def test_invalidate_clears_and_bumps_generation(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.invalidate()
+        assert cache.get("a") is None
+        assert len(cache) == 0
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+
+    def test_hit_rate(self):
+        cache = LRUCache(4)
+        assert cache.hit_rate == 0.0
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("miss")
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_stats_dict(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["size"] == 1
+        assert stats["capacity"] == 2

@@ -1,0 +1,74 @@
+"""Tests for the Zipf-skewed query trace generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving.workload import QueryTrace, zipf_trace
+
+
+class TestZipfTrace:
+    def test_shapes_and_bounds(self):
+        trace = zipf_trace(200, 50, rate=100.0, rng=np.random.default_rng(0))
+        assert len(trace) == 200
+        assert trace.query_ids.min() >= 0
+        assert trace.query_ids.max() < 50
+        assert trace.arrivals[0] == 0.0
+        assert np.all(np.diff(trace.arrivals) >= 0.0)
+
+    def test_determinism(self):
+        a = zipf_trace(100, 30, rng=np.random.default_rng(7))
+        b = zipf_trace(100, 30, rng=np.random.default_rng(7))
+        assert np.array_equal(a.query_ids, b.query_ids)
+        assert np.array_equal(a.arrivals, b.arrivals)
+
+    def test_skew_concentrates_popularity(self):
+        rng = np.random.default_rng(0)
+        skewed = zipf_trace(5000, 1000, skew=1.5, rng=rng)
+        rng = np.random.default_rng(0)
+        flat = zipf_trace(5000, 1000, skew=0.0, rng=rng)
+
+        def top10_share(trace):
+            _, counts = np.unique(trace.query_ids, return_counts=True)
+            counts = np.sort(counts)[::-1]
+            return counts[:10].sum() / counts.sum()
+
+        assert top10_share(skewed) > 2.0 * top10_share(flat)
+
+    def test_offered_rate_close_to_target(self):
+        trace = zipf_trace(
+            5000, 100, rate=250.0, rng=np.random.default_rng(1)
+        )
+        assert trace.offered_rate == pytest.approx(250.0, rel=0.1)
+
+    def test_rescaled_changes_rate_only(self):
+        trace = zipf_trace(300, 40, rate=100.0, rng=np.random.default_rng(2))
+        faster = trace.rescaled(400.0)
+        assert np.array_equal(trace.query_ids, faster.query_ids)
+        assert faster.offered_rate == pytest.approx(400.0, rel=1e-9)
+
+    def test_unique_queries(self):
+        trace = zipf_trace(500, 20, rng=np.random.default_rng(3))
+        uniq = trace.unique_queries()
+        assert np.array_equal(uniq, np.unique(trace.query_ids))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_trace(0, 10)
+        with pytest.raises(ValueError):
+            zipf_trace(10, 0)
+        with pytest.raises(ValueError):
+            zipf_trace(10, 10, rate=0.0)
+        with pytest.raises(ValueError):
+            zipf_trace(10, 10, skew=-0.5)
+        with pytest.raises(ValueError):
+            QueryTrace(
+                query_ids=np.array([0, 1]),
+                arrivals=np.array([0.0]),
+                k=10,
+                skew=1.0,
+            )
+        with pytest.raises(ValueError):
+            trace = zipf_trace(10, 10)
+            trace.rescaled(0.0)

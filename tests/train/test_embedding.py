@@ -53,6 +53,41 @@ class TestNearestNeighbors:
         with pytest.raises(ValueError):
             cosine_nearest_neighbors(rng.standard_normal((5, 2)), np.array([0]), k=0)
 
+    def test_k_clamped_to_available_neighbors(self, rng):
+        # k >= n clamps to n-1 (self excluded) instead of erroring.
+        e = rng.standard_normal((6, 3))
+        idx, sims = cosine_nearest_neighbors(e, np.array([0, 3]), k=100)
+        assert idx.shape == (2, 5)
+        assert sims.shape == (2, 5)
+        for i, row in zip((0, 3), idx):
+            assert i not in row
+            assert set(row) == set(range(6)) - {i}
+
+    def test_zero_norm_rows_survive(self, rng):
+        # Zero rows normalize to zero (similarity 0 to everything) and
+        # must neither NaN out nor dominate the ranking.
+        e = rng.standard_normal((12, 4))
+        e[3] = 0.0
+        e[8] = 0.0
+        idx, sims = cosine_nearest_neighbors(e, np.arange(12), k=4)
+        assert np.all(np.isfinite(sims))
+        # A zero query is equidistant from everything: all sims zero.
+        assert np.allclose(sims[3], 0.0)
+        # For non-zero queries, zero rows never beat a positive match.
+        best = sims[:, 0]
+        assert np.all(best[np.arange(12) != 3] >= 0.0)
+
+    def test_chunking_is_bit_identical(self, rng):
+        # Regression for the memory-blowup fix: chunked scans must return
+        # exactly the same indices AND similarities as the one-shot scan.
+        e = rng.standard_normal((257, 9))
+        q = np.arange(257)
+        ref_idx, ref_sims = cosine_nearest_neighbors(e, q, k=7, chunk_size=None)
+        for cs in (2, 16, 100, 256, 258):
+            idx, sims = cosine_nearest_neighbors(e, q, k=7, chunk_size=cs)
+            assert np.array_equal(ref_idx, idx), cs
+            assert np.array_equal(ref_sims, sims), cs
+
 
 class TestHomogeneity:
     def test_perfectly_clustered(self):
@@ -76,6 +111,44 @@ class TestHomogeneity:
         labels = (rng.random((50, 8)) < 0.3).astype(np.float64)
         h = label_homogeneity(emb, labels, k=5, sample=None)
         assert 0.0 <= h <= 1.0
+
+    def test_multilabel_jaccard_exact(self):
+        # Two tight clusters; cluster A's label set {0,1} vs B's {2}.
+        # Within a cluster Jaccard is 1.0 (>= 0.5 -> counted); labels
+        # across clusters share nothing, so homogeneity is exactly 1.0
+        # when neighbors stay in-cluster and 0.0 when they do not.
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((10, 3)) * 0.01 + np.array([5.0, 0, 0])
+        b = rng.standard_normal((10, 3)) * 0.01 + np.array([-5.0, 0, 0])
+        emb = np.vstack([a, b])
+        labels = np.zeros((20, 3))
+        labels[:10, [0, 1]] = 1.0
+        labels[10:, 2] = 1.0
+        assert label_homogeneity(emb, labels, k=3, sample=None) == 1.0
+        # Interleave so every vertex's nearest neighbors have disjoint
+        # label sets (Jaccard 0 < 0.5).
+        flip = np.tile([0.0, 1.0], 10)
+        labels_bad = np.zeros((20, 3))
+        labels_bad[flip == 0, 0] = 1.0
+        labels_bad[flip == 1, 2] = 1.0
+        mixed = label_homogeneity(emb, labels_bad, k=3, sample=None)
+        assert 0.0 <= mixed < 1.0
+
+    def test_sampled_queries_deterministic(self):
+        rng = np.random.default_rng(5)
+        emb = rng.standard_normal((200, 6))
+        labels = rng.integers(0, 4, size=200)
+        h1 = label_homogeneity(
+            emb, labels, k=5, sample=64, rng=np.random.default_rng(9)
+        )
+        h2 = label_homogeneity(
+            emb, labels, k=5, sample=64, rng=np.random.default_rng(9)
+        )
+        assert h1 == h2
+        # Default rng (None) is seeded, so repeated calls agree too.
+        assert label_homogeneity(emb, labels, k=5, sample=64) == (
+            label_homogeneity(emb, labels, k=5, sample=64)
+        )
 
 
 class TestReport:
