@@ -11,17 +11,12 @@ from repro.experiments import ablations
 from repro.experiments.common import format_table
 
 
-def test_ablation_dashboard_eta(benchmark, record_table, record_json):
-    results = benchmark.pedantic(
-        lambda: ablations.run_dashboard_eta(num_subgraphs=4, seed=0),
-        rounds=1,
-        iterations=1,
-    )
-    record_table(
+def test_ablation_dashboard_eta(paper_bench):
+    results = paper_bench(
         "ablation_dashboard_eta",
-        format_table(results["rows"], title="X2: Dashboard eta sweep"),
+        lambda: ablations.run_dashboard_eta(num_subgraphs=4, seed=0),
+        text=lambda r: format_table(r["rows"], title="X2: Dashboard eta sweep"),
     )
-    record_json("ablation_dashboard_eta", results)
     rows = sorted(results["rows"], key=lambda r: r["eta"])
     cleanups = [r["cleanups_per_subgraph"] for r in rows]
     probes = [r["probes_per_pop"] for r in rows]
@@ -33,21 +28,20 @@ def test_ablation_dashboard_eta(benchmark, record_table, record_json):
         assert 0.25 <= ratio <= 4.0
 
 
-def test_ablation_alias_vs_dashboard(benchmark, record_table, record_json):
+def test_ablation_alias_vs_dashboard(paper_bench):
     """Section IV-A's rejected alternative, quantified: per-pop alias
     rebuilds scale O(m) while the Dashboard's incremental update is
     O(d) — the advantage grows with frontier size and exceeds an order of
     magnitude at the paper's m=1000 on sparse graphs."""
     from repro.experiments.ablations import run_alias_contrast
 
-    results = benchmark.pedantic(
-        lambda: run_alias_contrast(avg_degree=15.0), rounds=1, iterations=1
-    )
-    record_table(
+    results = paper_bench(
         "ablation_alias_vs_dashboard",
-        format_table(results["rows"], title="X8: alias rebuilds vs Dashboard updates"),
+        lambda: run_alias_contrast(avg_degree=15.0),
+        text=lambda r: format_table(
+            r["rows"], title="X8: alias rebuilds vs Dashboard updates"
+        ),
     )
-    record_json("ablation_alias_vs_dashboard", results)
     advantages = [r["dashboard_advantage"] for r in results["rows"]]
     assert advantages == sorted(advantages)  # grows with m
     assert advantages[-1] > 10.0

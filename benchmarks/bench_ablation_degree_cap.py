@@ -12,17 +12,14 @@ from repro.experiments import ablations
 from repro.experiments.common import format_table
 
 
-def test_ablation_degree_cap(benchmark, record_table, record_json):
-    results = benchmark.pedantic(
-        lambda: ablations.run_degree_cap(num_subgraphs=8, seed=0),
-        rounds=1,
-        iterations=1,
-    )
-    record_table(
+def test_ablation_degree_cap(paper_bench):
+    results = paper_bench(
         "ablation_degree_cap",
-        format_table(results["rows"], title="X3: degree cap on the Amazon profile"),
+        lambda: ablations.run_degree_cap(num_subgraphs=8, seed=0),
+        text=lambda r: format_table(
+            r["rows"], title="X3: degree cap on the Amazon profile"
+        ),
     )
-    record_json("ablation_degree_cap", results)
     uncapped, capped = results["rows"]
     assert uncapped["cap"] == "none" and capped["cap"] == 30
     # The cap must not *hurt* diversity: overlap no higher, coverage no

@@ -11,15 +11,14 @@ from repro.experiments import ablations
 from repro.experiments.common import format_table
 
 
-def test_ablation_partitioning_2approx(benchmark, record_table, record_json):
-    results = benchmark.pedantic(
-        lambda: ablations.run_partitioning(seed=0), rounds=1, iterations=1
-    )
-    record_table(
+def test_ablation_partitioning_2approx(paper_bench):
+    results = paper_bench(
         "ablation_partitioning",
-        format_table(results["rows"], title="X1: feature-only partitioning vs optimum"),
+        lambda: ablations.run_partitioning(seed=0),
+        text=lambda r: format_table(
+            r["rows"], title="X1: feature-only partitioning vs optimum"
+        ),
     )
-    record_json("ablation_partitioning", results)
     for row in results["rows"]:
         if row["thm2_conditions"]:
             assert row["ratio_vs_ideal"] <= 2.0 + 1e-9
@@ -28,21 +27,18 @@ def test_ablation_partitioning_2approx(benchmark, record_table, record_json):
         assert row["gcomm_random_MB"] >= row["gcomm_ours_MB"] * 0.999
 
 
-def test_ablation_partitioner_gamma(benchmark, record_table, record_json):
+def test_ablation_partitioner_gamma(paper_bench):
     """Measured gamma_P of real partitioners on a sampled subgraph: all
     stay far above the 1/P ideal, the premise of Theorem 2."""
     from repro.experiments.ablations import run_partitioner_gamma
 
-    results = benchmark.pedantic(
-        lambda: run_partitioner_gamma(seed=0), rounds=1, iterations=1
-    )
-    record_table(
+    results = paper_bench(
         "ablation_partitioner_gamma",
-        format_table(
-            results["rows"], title="X1b: measured gamma_P on a sampled subgraph"
+        lambda: run_partitioner_gamma(seed=0),
+        text=lambda r: format_table(
+            r["rows"], title="X1b: measured gamma_P on a sampled subgraph"
         ),
     )
-    record_json("ablation_partitioner_gamma", results)
     for row in results["rows"]:
         for key in ("gamma_random", "gamma_bfs", "gamma_greedy"):
             # Far above the 1/P ideal (for P=2 "far" saturates near 1.0,

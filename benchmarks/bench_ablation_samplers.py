@@ -11,17 +11,14 @@ from repro.experiments import ablations
 from repro.experiments.common import format_table
 
 
-def test_ablation_sampler_comparison(benchmark, record_table, record_json):
-    results = benchmark.pedantic(
-        lambda: ablations.run_sampler_comparison(dataset="ppi", epochs=12, seed=0),
-        rounds=1,
-        iterations=1,
-    )
-    record_table(
+def test_ablation_sampler_comparison(paper_bench):
+    results = paper_bench(
         "ablation_samplers",
-        format_table(results["rows"], title="X4: sampler comparison (PPI profile)"),
+        lambda: ablations.run_sampler_comparison(dataset="ppi", epochs=12, seed=0),
+        text=lambda r: format_table(
+            r["rows"], title="X4: sampler comparison (PPI profile)"
+        ),
     )
-    record_json("ablation_samplers", results)
     rows = {r["sampler"]: r for r in results["rows"]}
     # The paper motivates frontier sampling by connectivity preservation,
     # and explicitly leaves "impact on accuracy of various sampling

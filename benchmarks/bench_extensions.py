@@ -11,15 +11,14 @@ from repro.experiments import extensions
 from repro.experiments.common import format_table
 
 
-def test_extension_depth_accuracy(benchmark, record_table, record_json):
-    results = benchmark.pedantic(
-        lambda: extensions.run_depth_accuracy(seed=0), rounds=1, iterations=1
-    )
-    record_table(
+def test_extension_depth_accuracy(paper_bench):
+    results = paper_bench(
         "extension_depth_accuracy",
-        format_table(results["rows"], title="X6: depth vs accuracy (Reddit profile)"),
+        lambda: extensions.run_depth_accuracy(seed=0),
+        text=lambda r: format_table(
+            r["rows"], title="X6: depth vs accuracy (Reddit profile)"
+        ),
     )
-    record_json("extension_depth_accuracy", results)
     rows = {r["layers"]: r for r in results["rows"]}
     # Cost grows ~linearly with depth (the graph-sampling property that
     # makes this experiment affordable at all).
@@ -29,17 +28,14 @@ def test_extension_depth_accuracy(benchmark, record_table, record_json):
         assert r["val_f1_micro"] > 0.5
 
 
-def test_extension_budget_scaling(benchmark, record_table, record_json):
-    results = benchmark.pedantic(
-        lambda: extensions.run_budget_scaling(seed=0), rounds=1, iterations=1
-    )
-    record_table(
+def test_extension_budget_scaling(paper_bench):
+    results = paper_bench(
         "extension_budget_scaling",
-        format_table(
-            results["rows"], title="X7: fixed sampler budget, growing graph"
+        lambda: extensions.run_budget_scaling(seed=0),
+        text=lambda r: format_table(
+            r["rows"], title="X7: fixed sampler budget, growing graph"
         ),
     )
-    record_json("extension_budget_scaling", results)
     rows = results["rows"]
     f1s = [r["val_f1_micro"] for r in rows]
     # Section III-B's claim: accuracy holds while the budget fraction

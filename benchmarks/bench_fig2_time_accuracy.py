@@ -15,14 +15,12 @@ from __future__ import annotations
 from repro.experiments import fig2
 
 
-def test_fig2_time_accuracy_all_datasets(benchmark, record_table, record_json):
-    results = benchmark.pedantic(
+def test_fig2_time_accuracy_all_datasets(paper_bench):
+    results = paper_bench(
+        "fig2_time_accuracy",
         lambda: fig2.run(hidden=128, epoch_scale=1.0, seed=0),
-        rounds=1,
-        iterations=1,
+        text=fig2.format_results,
     )
-    record_table("fig2_time_accuracy", fig2.format_results(results))
-    record_json("fig2_time_accuracy", results)
     for r in results["results"]:
         # The proposed method reaches the threshold on every dataset...
         assert r["time_proposed"] is not None, r["dataset"]

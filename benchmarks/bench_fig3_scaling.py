@@ -11,14 +11,12 @@ from __future__ import annotations
 from repro.experiments import fig3
 
 
-def test_fig3_scaling_hidden_512(benchmark, record_table, record_json):
-    results = benchmark.pedantic(
+def test_fig3_scaling_hidden_512(paper_bench):
+    results = paper_bench(
+        "fig3_scaling_h512",
         lambda: fig3.run(hidden_dims=(512,), iterations=4, seed=0),
-        rounds=1,
-        iterations=1,
+        text=fig3.format_results,
     )
-    record_table("fig3_scaling_h512", fig3.format_results(results))
-    record_json("fig3_scaling_h512", results)
     for row in results["rows"]:
         if row["cores"] == 40:
             assert 10.0 <= row["iteration_speedup"] <= 30.0
@@ -26,14 +24,12 @@ def test_fig3_scaling_hidden_512(benchmark, record_table, record_json):
             assert 20.0 <= row["featprop_speedup"] <= 30.0
 
 
-def test_fig3_scaling_hidden_1024(benchmark, record_table, record_json):
-    results = benchmark.pedantic(
+def test_fig3_scaling_hidden_1024(paper_bench):
+    results = paper_bench(
+        "fig3_scaling_h1024",
         lambda: fig3.run(hidden_dims=(1024,), iterations=3, seed=0),
-        rounds=1,
-        iterations=1,
+        text=fig3.format_results,
     )
-    record_table("fig3_scaling_h1024", fig3.format_results(results))
-    record_json("fig3_scaling_h1024", results)
     # Larger hidden dim: weight application dominates even more, and the
     # speedup curves keep the same shape.
     for row in results["rows"]:

@@ -11,12 +11,12 @@ from __future__ import annotations
 from repro.experiments import fig4
 
 
-def test_fig4_sampler_scaling(benchmark, record_table, record_json):
-    results = benchmark.pedantic(
-        lambda: fig4.run(num_subgraphs=16, seed=0), rounds=1, iterations=1
+def test_fig4_sampler_scaling(paper_bench):
+    results = paper_bench(
+        "fig4_sampler_scaling",
+        lambda: fig4.run(num_subgraphs=16, seed=0),
+        text=fig4.format_results,
     )
-    record_table("fig4_sampler_scaling", fig4.format_results(results))
-    record_json("fig4_sampler_scaling", results)
 
     by_dataset: dict[str, dict[int, float]] = {}
     for row in results["panel_a"]:

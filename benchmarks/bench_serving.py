@@ -16,12 +16,12 @@ from __future__ import annotations
 from repro.experiments import serving
 
 
-def test_serving_configurations(benchmark, record_table, record_json):
-    results = benchmark.pedantic(
-        lambda: serving.run(num_queries=3000, seed=0), rounds=1, iterations=1
+def test_serving_configurations(paper_bench):
+    results = paper_bench(
+        "serving",
+        lambda: serving.run(num_queries=3000, seed=0),
+        text=serving.format_results,
     )
-    record_table("serving", serving.format_results(results))
-    record_json("serving", results)
 
     rows = {r["config"]: r for r in results["rows"]}
     assert set(rows) == set(serving.CONFIG_NAMES)

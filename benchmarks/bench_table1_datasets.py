@@ -8,12 +8,12 @@ from __future__ import annotations
 from repro.experiments import table1
 
 
-def test_table1_dataset_statistics(benchmark, record_table, record_json):
-    results = benchmark.pedantic(
-        lambda: table1.run(seed=0), rounds=1, iterations=1
+def test_table1_dataset_statistics(paper_bench):
+    results = paper_bench(
+        "table1_datasets",
+        lambda: table1.run(seed=0),
+        text=table1.format_results,
     )
-    record_table("table1_datasets", table1.format_results(results))
-    record_json("table1_datasets", results)
     rows = results["rows"]
     assert len(rows) == 4
     # Every generated dataset respects its profile's attribute/class spec.

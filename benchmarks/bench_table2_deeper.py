@@ -13,14 +13,12 @@ from __future__ import annotations
 from repro.experiments import table2
 
 
-def test_table2_deeper_gcn_speedups(benchmark, record_table, record_json):
-    results = benchmark.pedantic(
+def test_table2_deeper_gcn_speedups(paper_bench):
+    results = paper_bench(
+        "table2_deeper_gcn",
         lambda: table2.run(hidden=128, iterations=3, seed=0),
-        rounds=1,
-        iterations=1,
+        text=table2.format_results,
     )
-    record_table("table2_deeper_gcn", table2.format_results(results))
-    record_json("table2_deeper_gcn", results)
     rows = {r["layers"]: r for r in results["rows"]}
     # Monotone in depth at every core count.
     for cores in ("1-core", "5-core", "10-core", "20-core", "40-core"):

@@ -2,12 +2,18 @@
 
 Experiment benchmarks run their workload once (``benchmark.pedantic`` with
 a single round — these regenerate paper tables, they are not microbenches)
-and write the paper-style table to ``benchmarks/results/`` as well as
-stdout. Every runner additionally writes a machine-readable
-``BENCH_<name>.json`` next to the table (via :func:`record_json`), so the
-benchmark trajectory can be compared across PRs without re-parsing ASCII
-tables. The pure microbenches in ``bench_kernels.py`` get their stats
-exported to ``BENCH_kernels.json`` by a session-finish hook.
+through the :func:`paper_bench` fixture, which owns all the per-runner
+output from one code path:
+
+* the paper-style table → ``benchmarks/results/<name>.txt`` + stdout;
+* the raw results dict → ``BENCH_<name>.json`` (the cross-PR benchmark
+  trajectory);
+* the :mod:`repro.obs` trace of the same run → ``OBS_<name>.json``
+  (per-phase span aggregates + counters — where the workload's time
+  went, not just how long it took).
+
+The pure microbenches in ``bench_kernels.py`` get their stats exported to
+``BENCH_kernels.json`` by a session-finish hook.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ import pathlib
 
 import pytest
 
+from repro import obs
 from repro.experiments.common import write_bench_json
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -50,6 +57,32 @@ def record_json(results_dir):
         print(f"[written to {path}]")
 
     return _record
+
+
+@pytest.fixture
+def paper_bench(benchmark, record_table, record_json, results_dir):
+    """Run one paper-regeneration workload; emit table + BENCH + OBS json.
+
+    Replaces the per-runner timing boilerplate: the workload executes
+    once (``benchmark.pedantic``) inside an enabled ``bench.<name>`` obs
+    span, then the fixture writes ``<name>.txt`` (when ``text`` renders a
+    table), ``BENCH_<name>.json`` and ``OBS_<name>.json`` — so the
+    human-readable table, the results trajectory and the time-breakdown
+    trace all come from the same run.
+    """
+
+    def _run(name: str, fn, *, text=None):
+        obs.reset()
+        with obs.enabled(), obs.span(f"bench.{name}"):
+            results = benchmark.pedantic(fn, rounds=1, iterations=1)
+        if text is not None:
+            record_table(name, text(results))
+        record_json(name, results)
+        path = obs.export.write_obs_json(results_dir / f"OBS_{name}.json", name)
+        print(f"[written to {path}]")
+        return results
+
+    return _run
 
 
 def pytest_sessionfinish(session, exitstatus):

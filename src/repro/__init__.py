@@ -19,6 +19,9 @@ GCN ("GS-GCN", the GraphSAINT precursor) and everything it depends on:
 * :mod:`repro.train` — the Algorithm 1/5 training loop and evaluation;
 * :mod:`repro.serving` — the downstream serving layer (Section I's
   motivating workload): ANN index, micro-batching, caching, metrics;
+* :mod:`repro.obs` — cross-cutting observability: hierarchical spans,
+  process-wide counters/histograms, trace export (off by default;
+  see ``docs/observability.md``);
 * :mod:`repro.experiments` — one module per paper table/figure.
 
 Quickstart::
@@ -31,6 +34,7 @@ Quickstart::
     print(result.final_val_f1)
 """
 
+from . import obs
 from .graphs import CSRGraph, Dataset, make_dataset
 from .nn import GCN, Adam, f1_micro
 from .parallel import MachineSpec, xeon_40core
@@ -70,5 +74,6 @@ __all__ = [
     "EmbeddingServer",
     "ServerConfig",
     "zipf_trace",
+    "obs",
     "__version__",
 ]

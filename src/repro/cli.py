@@ -11,8 +11,16 @@ Regenerate any paper artifact without writing code::
     python -m repro.cli serve-bench --queries 3000
     python -m repro.cli all --out results/
 
-Each subcommand prints the paper-style table; ``--out DIR`` additionally
-writes it to ``DIR/<name>.txt``.
+Observability (see ``docs/observability.md``)::
+
+    python -m repro.cli train-bench --out results/
+    python -m repro.cli obs-report --trace results/OBS_train_bench.json
+
+``train-bench`` runs one instrumented training run and exports the trace
+(``OBS_train_bench.json`` + a Chrome ``trace_event`` file next to it);
+``obs-report`` renders the per-phase breakdown table of any exported
+trace. Each subcommand prints the paper-style table; ``--out DIR``
+additionally writes it to ``DIR/<name>.txt``.
 """
 
 from __future__ import annotations
@@ -181,6 +189,63 @@ def _run_report(args: argparse.Namespace, out: pathlib.Path | None) -> None:
     _emit("report", "\n\n".join(sections), out)
 
 
+def _run_train_bench(args: argparse.Namespace, out: pathlib.Path | None) -> None:
+    """One instrumented training run; exports the trace and its report.
+
+    The run is small (one dataset profile, a few epochs) because the
+    point is the *trace*, not the accuracy: the exported
+    ``OBS_train_bench.json`` is the per-phase time breakdown the
+    acceptance test checks (sample/forward/backward spans must cover
+    >= 95% of iteration wall time).
+    """
+    from . import obs
+    from .experiments.common import EXPERIMENT_SCALES
+    from .graphs.datasets import make_dataset
+    from .train.config import TrainConfig
+    from .train.trainer import GraphSamplingTrainer
+
+    name = (args.datasets or ["ppi"])[0]
+    dataset = make_dataset(name, scale=EXPERIMENT_SCALES[name], seed=args.seed)
+    hidden = args.hidden or 128
+    config = TrainConfig(
+        hidden_dims=(hidden, hidden),
+        epochs=max(1, int(round(3 * args.epoch_scale))),
+        seed=args.seed,
+    )
+    trainer = GraphSamplingTrainer(dataset, config)
+    obs.reset()
+    with obs.enabled():
+        result = trainer.train()
+    doc = obs.export.trace_document("train_bench")
+    doc["meta"] = {
+        "dataset": name,
+        "hidden": hidden,
+        "epochs": config.epochs,
+        "iterations": result.iterations,
+        "final_val_f1": result.final_val_f1,
+    }
+    _emit("train_bench", obs.export.render_report(doc), out)
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+        path = out / "OBS_train_bench.json"
+        import json
+
+        path.write_text(json.dumps(doc, indent=2) + "\n")
+        chrome = obs.export.write_chrome_trace(out / "train_bench.chrome.json")
+        print(f"[written to {path}]\n[written to {chrome}]")
+
+
+def _run_obs_report(args: argparse.Namespace, out: pathlib.Path | None) -> None:
+    """Render the per-phase breakdown of an exported trace document."""
+    from .obs import export as obs_export
+
+    if args.trace is None:
+        print("obs-report requires --trace PATH (an OBS_*.json export)")
+        raise SystemExit(2)
+    doc = obs_export.load_trace(args.trace)
+    _emit("obs_report", obs_export.render_report(doc), out)
+
+
 _COMMANDS = {
     "table1": _run_table1,
     "extensions": _run_extensions,
@@ -190,6 +255,8 @@ _COMMANDS = {
     "table2": _run_table2,
     "ablations": _run_ablations,
     "serve-bench": _run_serve_bench,
+    "train-bench": _run_train_bench,
+    "obs-report": _run_obs_report,
     "report": _run_report,
 }
 
@@ -239,13 +306,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory to write result tables into",
     )
+    parser.add_argument(
+        "--trace",
+        type=pathlib.Path,
+        default=None,
+        help="obs-report: path to an exported OBS_*.json / trace document",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point: run the selected experiment(s); returns exit code."""
     args = build_parser().parse_args(argv)
-    names = sorted(_COMMANDS) if args.experiment == "all" else [args.experiment]
+    if args.experiment == "all":
+        # obs-report needs an explicit --trace; everything else self-runs.
+        names = [n for n in sorted(_COMMANDS) if n != "obs-report"]
+    else:
+        names = [args.experiment]
     for name in names:
         _COMMANDS[name](args, args.out)
     return 0

@@ -1,0 +1,91 @@
+"""repro.obs — the cross-cutting observability layer.
+
+The paper's headline claims are performance claims (Fig. 2
+time-to-accuracy, Fig. 3/4 scaling); this package is how the repo sees
+where time actually goes. One span/counter vocabulary shared by every
+subsystem:
+
+* :mod:`repro.obs.trace` — hierarchical spans recording wall time,
+  cost-model (simulated) time and arbitrary attributes, on an injectable
+  clock so traces are deterministic in tests;
+* :mod:`repro.obs.metrics` — process-wide counters / gauges / exact-
+  percentile histograms (subsumes ``repro.serving.metrics``'s
+  :class:`~repro.obs.metrics.LatencyHistogram`);
+* :mod:`repro.obs.export` — JSON trace documents, Chrome
+  ``trace_event`` files, and the flat ``OBS_<name>.json`` summaries that
+  sit next to the bench harness's ``BENCH_<name>.json``.
+
+Everything is **off by default** and costs one attribute read per call
+site when disabled (see :mod:`repro.obs._gate`); enable it with::
+
+    from repro import obs
+
+    with obs.enabled():
+        trainer.train(epochs=1)
+    print(obs.export.render_report(obs.export.trace_document("run")))
+
+or from the command line::
+
+    python -m repro.cli train-bench --out results/
+    python -m repro.cli obs-report --trace results/OBS_train_bench.json
+
+See ``docs/observability.md`` for the full guide.
+"""
+
+from . import export, metrics
+from ._gate import enabled, is_enabled, set_enabled
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LatencyHistogram,
+    MetricsRegistry,
+    get_registry,
+)
+from .trace import (
+    PhaseStat,
+    Span,
+    Tracer,
+    aggregate,
+    current_span,
+    get_tracer,
+    set_tracer,
+    span,
+    walk,
+)
+
+__all__ = [
+    "enabled",
+    "is_enabled",
+    "set_enabled",
+    "span",
+    "current_span",
+    "Span",
+    "Tracer",
+    "PhaseStat",
+    "aggregate",
+    "walk",
+    "get_tracer",
+    "set_tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "get_registry",
+    "metrics",
+    "export",
+    "reset",
+]
+
+
+def reset() -> None:
+    """Clear both the global tracer and the metrics registry.
+
+    Bench runners call this before each workload so one process can
+    export several independent ``OBS_*.json`` files.
+    """
+    from . import trace as _trace
+
+    _trace.reset()
+    metrics.reset()

@@ -1,0 +1,209 @@
+"""Trace/metric export: JSON documents, Chrome ``trace_event``, reports.
+
+Three output shapes, one source of truth (the tracer + registry):
+
+* **trace document** — nested spans plus per-phase aggregates and a
+  metrics snapshot; what ``python -m repro.cli obs-report`` consumes.
+* **Chrome trace** — a ``trace_event`` array loadable in
+  ``chrome://tracing`` / Perfetto ("complete" ``ph: "X"`` events,
+  microsecond timestamps).
+* **``OBS_<name>.json``** — the flat summary written next to the bench
+  harness's ``BENCH_<name>.json`` files: same naming convention, same
+  directory, so the cross-PR trajectory tooling picks both up.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from .metrics import MetricsRegistry, REGISTRY
+from .trace import Span, Tracer, aggregate, get_tracer
+
+__all__ = [
+    "span_to_dict",
+    "trace_document",
+    "to_chrome_trace",
+    "write_trace_json",
+    "write_chrome_trace",
+    "write_obs_json",
+    "load_trace",
+    "render_report",
+]
+
+
+def _jsonable(obj):
+    """JSON-safe conversion (non-finite floats become ``None``)."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, float):
+        return obj if obj == obj and abs(obj) != float("inf") else None
+    if isinstance(obj, (str, int, bool)) or obj is None:
+        return obj
+    if hasattr(obj, "item"):  # numpy scalars
+        return _jsonable(obj.item())
+    return str(obj)
+
+
+def span_to_dict(sp: Span) -> dict:
+    """Nested JSON form of one span (children recursively included)."""
+    return {
+        "name": sp.name,
+        "t_start": sp.t_start,
+        "t_end": sp.t_end,
+        "duration": sp.duration,
+        "sim_time": sp.sim_time,
+        "attrs": _jsonable(sp.attrs),
+        "children": [span_to_dict(c) for c in sp.children],
+    }
+
+
+def trace_document(
+    name: str,
+    tracer: Tracer | None = None,
+    registry: MetricsRegistry | None = None,
+) -> dict:
+    """Full export: nested spans + per-phase aggregates + metrics."""
+    tracer = tracer or get_tracer()
+    registry = registry or REGISTRY
+    phases = aggregate(tracer.roots)
+    return {
+        "obs": name,
+        "phases": {k: v.as_dict() for k, v in phases.items()},
+        "metrics": _jsonable(registry.snapshot()),
+        "spans": [span_to_dict(r) for r in tracer.roots],
+    }
+
+
+def to_chrome_trace(roots: list[Span]) -> list[dict]:
+    """Spans as Chrome ``trace_event`` "complete" events.
+
+    Timestamps are microseconds relative to the earliest root so the
+    viewer opens at t=0 regardless of the clock's epoch. Open spans
+    (no ``t_end``) are skipped — they have no extent to draw.
+    """
+    if not roots:
+        return []
+    t0 = min(r.t_start for r in roots)
+    events: list[dict] = []
+
+    def emit(sp: Span) -> None:
+        if sp.t_end is not None:
+            events.append(
+                {
+                    "name": sp.name,
+                    "ph": "X",
+                    "ts": (sp.t_start - t0) * 1e6,
+                    "dur": sp.duration * 1e6,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": _jsonable({**sp.attrs, "sim_time": sp.sim_time}),
+                }
+            )
+        for c in sp.children:
+            emit(c)
+
+    for r in roots:
+        emit(r)
+    return events
+
+
+def write_trace_json(
+    path,
+    name: str,
+    tracer: Tracer | None = None,
+    registry: MetricsRegistry | None = None,
+) -> pathlib.Path:
+    """Write the full trace document to ``path``; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = trace_document(name, tracer, registry)
+    path.write_text(json.dumps(_jsonable(doc), indent=2) + "\n")
+    return path
+
+
+def write_chrome_trace(path, tracer: Tracer | None = None) -> pathlib.Path:
+    """Write a ``chrome://tracing``-loadable event array to ``path``."""
+    tracer = tracer or get_tracer()
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps({"traceEvents": to_chrome_trace(tracer.roots)}) + "\n"
+    )
+    return path
+
+
+def write_obs_json(
+    path,
+    name: str,
+    tracer: Tracer | None = None,
+    registry: MetricsRegistry | None = None,
+) -> pathlib.Path:
+    """Write the flat ``OBS_<name>.json`` summary (no span tree).
+
+    The shape mirrors ``BENCH_<name>.json`` (``{"obs": name, ...}`` vs
+    ``{"bench": name, ...}``): per-phase aggregates plus the metrics
+    snapshot, small enough to diff across PRs.
+    """
+    tracer = tracer or get_tracer()
+    registry = registry or REGISTRY
+    doc = {
+        "obs": name,
+        "phases": {k: v.as_dict() for k, v in aggregate(tracer.roots).items()},
+        "metrics": _jsonable(registry.snapshot()),
+    }
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(_jsonable(doc), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_trace(path) -> dict:
+    """Read a document written by :func:`write_trace_json` /
+    :func:`write_obs_json`."""
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def render_report(doc: dict) -> str:
+    """Per-phase breakdown table from an exported trace document.
+
+    ``wall_%`` is the phase's share of *self* time (time not inside a
+    child span), so the column sums to ~100 without double counting
+    nested spans; ``per_call_ms`` is mean wall time per span.
+    """
+    phases = doc.get("phases", {})
+    if not phases:
+        return f"obs report: {doc.get('obs', '?')}\n(no spans recorded)"
+    total_self = sum(p.get("self_seconds", 0.0) for p in phases.values())
+    rows = []
+    for phase_name, p in phases.items():
+        count = p.get("count", 0.0)
+        wall = p.get("wall_seconds", 0.0)
+        rows.append(
+            {
+                "phase": phase_name,
+                "count": int(count),
+                "wall_s": wall,
+                "self_s": p.get("self_seconds", 0.0),
+                "wall_%": (
+                    100.0 * p.get("self_seconds", 0.0) / total_self
+                    if total_self > 0
+                    else 0.0
+                ),
+                "per_call_ms": 1e3 * wall / count if count else 0.0,
+                "sim_time": p.get("sim_time", 0.0),
+            }
+        )
+    from ..experiments.common import format_table
+
+    title = f"obs report: {doc.get('obs', '?')}"
+    table = format_table(rows, title=title)
+    counters = doc.get("metrics", {}).get("counters", {})
+    if counters:
+        counter_rows = [
+            {"counter": k, "value": v} for k, v in sorted(counters.items())
+        ]
+        table += "\n\n" + format_table(counter_rows, title="counters")
+    return table

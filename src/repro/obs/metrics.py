@@ -1,0 +1,257 @@
+"""Process-wide counters, gauges and exact-percentile histograms.
+
+The "how much / how often" half of ``repro.obs``: one registry that any
+subsystem can drop a measurement into without threading a metrics object
+through every call site::
+
+    from repro.obs import metrics
+
+    metrics.inc("sampler.pops")                 # counter += 1
+    metrics.inc("prop.spmm_chunks", q)          # counter += q
+    metrics.set_gauge("sampler.valid_ratio", r) # last-value gauge
+    metrics.observe("sampler.occupancy", r)     # histogram sample
+
+The module-level helpers are **guarded**: they check the
+:mod:`repro.obs._gate` flag first and cost one attribute read when
+instrumentation is disabled. The :class:`Histogram` keeps raw samples and
+answers exact percentiles with ``np.percentile``'s default linear
+interpolation, so p50/p95/p99 columns are testable against the numpy
+oracle rather than approximations from fixed buckets.
+
+:class:`LatencyHistogram` (the non-negative-samples variant) originated in
+``repro.serving.metrics`` and now lives here; the serving module re-exports
+it, so ``from repro.serving.metrics import LatencyHistogram`` keeps
+working unchanged — as does ``ServingMetrics``, which this module
+re-exports in the other direction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ._gate import GATE
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "get_registry",
+    "inc",
+    "set_gauge",
+    "observe",
+    "snapshot",
+    "reset",
+    "ServingMetrics",
+]
+
+
+class Counter:
+    """Monotone accumulator (float so it can count ops or bytes)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def add(self, n: float = 1.0) -> None:
+        """Increment by ``n`` (default 1)."""
+        self.value += n
+
+    def reset(self) -> None:
+        """Zero the accumulator."""
+        self.value = 0.0
+
+
+class Gauge:
+    """Last-written value (occupancy, queue depth, ratios)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = float("nan")
+
+    def set(self, v: float) -> None:
+        """Overwrite with the latest observation."""
+        self.value = float(v)
+
+    def reset(self) -> None:
+        """Return to the never-written (NaN) state."""
+        self.value = float("nan")
+
+
+class Histogram:
+    """Sample accumulator with exact percentile queries.
+
+    Keeps every sample (these are bench/test-scale runs, not a prod
+    telemetry pipeline) so percentiles match ``np.percentile`` exactly.
+    """
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+
+    def record(self, value: float) -> None:
+        """Add one sample."""
+        self._samples.append(float(value))
+
+    def extend(self, values) -> None:
+        """Add many samples."""
+        for v in values:
+            self.record(v)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self._samples)
+
+    def percentile(self, q: float) -> float:
+        """Exact ``q``-th percentile (linear interpolation); NaN if empty."""
+        if not 0 <= q <= 100:
+            raise ValueError("q must be in [0, 100]")
+        if not self._samples:
+            return float("nan")
+        xs = np.sort(np.asarray(self._samples))
+        # Linear interpolation between closest ranks, the numpy default.
+        pos = (q / 100.0) * (xs.size - 1)
+        lo = int(np.floor(pos))
+        hi = int(np.ceil(pos))
+        frac = pos - lo
+        return float(xs[lo] * (1.0 - frac) + xs[hi] * frac)
+
+    def mean(self) -> float:
+        """Arithmetic mean; NaN if empty."""
+        return float(np.mean(self._samples)) if self._samples else float("nan")
+
+    def max(self) -> float:
+        """Largest sample; NaN if empty."""
+        return float(np.max(self._samples)) if self._samples else float("nan")
+
+    def summary(self, scale: float = 1.0) -> dict[str, float]:
+        """p50/p95/p99/mean/max/count, with values multiplied by ``scale``
+        (e.g. ``1e3`` for milliseconds)."""
+        return {
+            "count": float(self.count),
+            "p50": self.percentile(50) * scale,
+            "p95": self.percentile(95) * scale,
+            "p99": self.percentile(99) * scale,
+            "mean": self.mean() * scale,
+            "max": self.max() * scale,
+        }
+
+    def reset(self) -> None:
+        """Drop all samples."""
+        self._samples.clear()
+
+
+class LatencyHistogram(Histogram):
+    """Latency sample accumulator: a :class:`Histogram` of non-negative
+    seconds (the serving layer's p50/p95/p99 source)."""
+
+    def record(self, value: float) -> None:
+        """Add one latency sample (seconds)."""
+        if value < 0:
+            raise ValueError("latency cannot be negative")
+        super().record(value)
+
+
+class MetricsRegistry:
+    """Name-addressed collection of counters, gauges and histograms.
+
+    Instruments are created on first touch; reads of a name that was
+    never written return a fresh zero instrument rather than raising, so
+    report code need not care which subsystems actually ran.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name`` (created on first use)."""
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram()
+        return h
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Flat JSON-ready view: counters, gauges, histogram summaries."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self.counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self.gauges.items())},
+            "histograms": {
+                k: h.summary() for k, h in sorted(self.histograms.items()) if len(h)
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (names included)."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry the guarded helpers write into."""
+    return REGISTRY
+
+
+def inc(name: str, n: float = 1.0) -> None:
+    """Guarded counter increment (no-op while instrumentation is off)."""
+    if GATE.enabled:
+        REGISTRY.counter(name).add(n)
+
+
+def set_gauge(name: str, v: float) -> None:
+    """Guarded gauge write (no-op while instrumentation is off)."""
+    if GATE.enabled:
+        REGISTRY.gauge(name).set(v)
+
+
+def observe(name: str, v: float) -> None:
+    """Guarded histogram sample (no-op while instrumentation is off)."""
+    if GATE.enabled:
+        REGISTRY.histogram(name).record(v)
+
+
+def snapshot() -> dict[str, dict[str, float]]:
+    """Snapshot of the process-wide registry."""
+    return REGISTRY.snapshot()
+
+
+def reset() -> None:
+    """Clear the process-wide registry."""
+    REGISTRY.reset()
+
+
+def __getattr__(name: str):
+    # Lazy re-export so `repro.obs.metrics` subsumes the serving metrics
+    # namespace without a circular import (serving.metrics imports the
+    # histogram classes from here at module load).
+    if name == "ServingMetrics":
+        from ..serving.metrics import ServingMetrics
+
+        return ServingMetrics
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,264 @@
+"""Hierarchical spans: the "where does the time go" half of ``repro.obs``.
+
+A span is one timed region of code with a name, wall-clock start/end, an
+optional *simulated-time* charge (the cost-model clock the paper's scaling
+figures run on), and arbitrary key-value attributes::
+
+    from repro import obs
+
+    with obs.span("sampler.frontier") as sp:
+        subgraph = sampler.sample(rng)
+        sp.set(vertices=subgraph.num_vertices)
+
+Spans nest: a span opened while another is active becomes its child, so a
+trainer iteration produces a tree (iteration → forward → prop.forward → …)
+that exports cleanly to Chrome ``trace_event`` JSON (see
+:mod:`repro.obs.export`).
+
+Two properties keep this usable on hot paths:
+
+* **Kill switch** — when :func:`repro.obs.is_enabled` is ``False`` (the
+  default), :func:`span` returns a shared no-op singleton: no object is
+  allocated and no clock is read.
+* **Deterministic clock** — a :class:`Tracer` takes any ``clock``
+  callable. Tests inject a counter clock so span durations (and therefore
+  exported traces) are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ._gate import GATE
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "PhaseStat",
+    "span",
+    "current_span",
+    "get_tracer",
+    "set_tracer",
+    "reset",
+    "aggregate",
+    "walk",
+]
+
+
+class Span:
+    """One timed region; also its own context manager.
+
+    Attributes are plain instance fields (``__slots__``) so entering a
+    span costs one object plus two clock reads.
+    """
+
+    __slots__ = ("name", "t_start", "t_end", "sim_time", "attrs", "children", "_tracer")
+
+    def __init__(self, name: str, t_start: float, tracer: "Tracer | None") -> None:
+        self.name = name
+        self.t_start = t_start
+        self.t_end: float | None = None
+        self.sim_time = 0.0
+        self.attrs: dict[str, object] = {}
+        self.children: list[Span] = []
+        self._tracer = tracer
+
+    # -- recording -----------------------------------------------------
+    def set(self, **attrs: object) -> "Span":
+        """Attach attributes (vertex counts, q, batch size, …)."""
+        self.attrs.update(attrs)
+        return self
+
+    def add_sim_time(self, dt: float) -> None:
+        """Charge ``dt`` cost-model seconds to this span."""
+        self.sim_time += dt
+
+    # -- context manager -----------------------------------------------
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        if self._tracer is not None:
+            self._tracer._finish(self)
+
+    # -- derived quantities --------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Wall seconds between enter and exit (0.0 while still open)."""
+        return 0.0 if self.t_end is None else self.t_end - self.t_start
+
+    @property
+    def self_seconds(self) -> float:
+        """Duration minus the time spent inside child spans."""
+        return self.duration - sum(c.duration for c in self.children)
+
+    def total_sim_time(self) -> float:
+        """Simulated time charged to this span and all descendants."""
+        return self.sim_time + sum(c.total_sim_time() for c in self.children)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, dur={self.duration:.6f}, "
+            f"children={len(self.children)})"
+        )
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while instrumentation is off."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: object) -> "_NoopSpan":
+        return self
+
+    def add_sim_time(self, dt: float) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Collects a forest of spans on one injected clock.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning monotonically non-decreasing
+        floats; defaults to :func:`time.perf_counter`. Tests pass a
+        deterministic counter so recorded durations are exact.
+    """
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self.clock = clock
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def span(self, name: str, **attrs: object) -> Span:
+        """Open a span as a child of the currently-active span."""
+        sp = Span(name, self.clock(), self)
+        if attrs:
+            sp.attrs.update(attrs)
+        if self._stack:
+            self._stack[-1].children.append(sp)
+        else:
+            self.roots.append(sp)
+        self._stack.append(sp)
+        return sp
+
+    def _finish(self, sp: Span) -> None:
+        sp.t_end = self.clock()
+        # Tolerate out-of-order exits (e.g. a span leaked across an
+        # exception the caller swallowed): unwind to the finished span.
+        while self._stack:
+            top = self._stack.pop()
+            if top is sp:
+                break
+            if top.t_end is None:
+                top.t_end = sp.t_end
+
+    def current(self) -> Span | None:
+        """Innermost open span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def reset(self) -> None:
+        """Drop all recorded spans (open ones included)."""
+        self.roots.clear()
+        self._stack.clear()
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer that :func:`span` records into."""
+    return _TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the process-wide tracer (returns the previous one)."""
+    global _TRACER
+    prev = _TRACER
+    _TRACER = tracer
+    return prev
+
+
+def span(name: str, **attrs: object):
+    """Open a span on the global tracer; no-op when disabled.
+
+    The disabled path performs one attribute read and returns a shared
+    singleton — it never allocates, so leaving instrumentation compiled
+    into hot loops is free (enforced by ``tests/obs/test_overhead.py``).
+    """
+    if not GATE.enabled:
+        return NOOP_SPAN
+    return _TRACER.span(name, **attrs)
+
+
+def current_span() -> Span | None:
+    """Innermost open span of the global tracer (None when disabled)."""
+    if not GATE.enabled:
+        return None
+    return _TRACER.current()
+
+
+def reset() -> None:
+    """Clear the global tracer's recorded spans."""
+    _TRACER.reset()
+
+
+def walk(sp: Span):
+    """Yield ``sp`` and all descendants, depth-first, parents first."""
+    yield sp
+    for child in sp.children:
+        yield from walk(child)
+
+
+@dataclass
+class PhaseStat:
+    """Aggregated view of every span sharing one name."""
+
+    name: str
+    count: int = 0
+    wall_seconds: float = 0.0
+    self_seconds: float = 0.0
+    sim_time: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-ready form (all values as floats)."""
+        return {
+            "count": float(self.count),
+            "wall_seconds": self.wall_seconds,
+            "self_seconds": self.self_seconds,
+            "sim_time": self.sim_time,
+        }
+
+
+def aggregate(spans) -> dict[str, PhaseStat]:
+    """Per-name totals over a span forest, in first-seen order.
+
+    ``wall_seconds`` sums full durations (a child's time is also inside
+    its parent's total — the tree view); ``self_seconds`` sums time not
+    attributed to any child span, so self times sum to total traced time
+    without double counting.
+    """
+    out: dict[str, PhaseStat] = {}
+    for root in spans:
+        for sp in walk(root):
+            stat = out.get(sp.name)
+            if stat is None:
+                stat = out[sp.name] = PhaseStat(sp.name)
+            stat.count += 1
+            stat.wall_seconds += sp.duration
+            stat.self_seconds += sp.self_seconds
+            stat.sim_time += sp.sim_time
+    return out

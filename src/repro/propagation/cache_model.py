@@ -21,6 +21,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graphs.csr import CSRGraph
+from ..obs import is_enabled as obs_enabled
+from ..obs import metrics as obs_metrics
 
 __all__ = ["CacheSim", "CacheStats", "propagation_trace", "simulate_propagation_misses"]
 
@@ -135,4 +137,8 @@ def simulate_propagation_misses(
     """Miss statistics of one partitioned propagation pass."""
     sim = CacheSim(capacity_bytes, line_bytes=line_bytes, ways=ways)
     sim.access(propagation_trace(graph, f=f, q=q))
+    if obs_enabled():
+        obs_metrics.inc("prop.cache_sim.accesses", sim.accesses)
+        obs_metrics.inc("prop.cache_sim.hits", sim.accesses - sim.misses)
+        obs_metrics.inc("prop.cache_sim.misses", sim.misses)
     return sim.stats

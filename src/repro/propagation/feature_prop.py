@@ -20,6 +20,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graphs.csr import CSRGraph
+from ..obs import is_enabled as obs_enabled
+from ..obs import metrics as obs_metrics
+from ..obs.trace import span
 from ..parallel.machine import MachineSpec
 from .partition_model import BYTES_PER_FEATURE, g_comm, g_comp, theorem2_plan
 from .spmm import MeanAggregator
@@ -105,19 +108,19 @@ class PartitionedPropagator:
         )
         return min(plan.q, max(f, 1))  # cannot split finer than one column
 
-    def _run(self, x: np.ndarray, op) -> np.ndarray:
+    def _run(self, x: np.ndarray, op, span_name: str) -> np.ndarray:
         n, f = x.shape
-        q = self.choose_q(f)
-        out = np.empty_like(x)
-        bounds = np.linspace(0, f, q + 1).astype(int)
-        for j in range(q):
-            lo, hi = bounds[j], bounds[j + 1]
-            if lo == hi:
-                continue
-            out[:, lo:hi] = op(np.ascontiguousarray(x[:, lo:hi]))
-        d = self.graph.average_degree
-        self.reports.append(
-            PropagationReport(
+        with span(span_name) as sp:
+            q = self.choose_q(f)
+            out = np.empty_like(x)
+            bounds = np.linspace(0, f, q + 1).astype(int)
+            for j in range(q):
+                lo, hi = bounds[j], bounds[j + 1]
+                if lo == hi:
+                    continue
+                out[:, lo:hi] = op(np.ascontiguousarray(x[:, lo:hi]))
+            d = self.graph.average_degree
+            report = PropagationReport(
                 n=n,
                 f=f,
                 q=q,
@@ -126,20 +129,27 @@ class PartitionedPropagator:
                 comm_bytes=g_comm(n, d, f, 1, q, 1.0),
                 cache_bytes_per_round=BYTES_PER_FEATURE * n * f / q,
             )
-        )
+            self.reports.append(report)
+            if obs_enabled():
+                sp.set(n=n, f=f, q=q)
+                sp.add_sim_time(
+                    report.simulated_time(self.machine, cores=self.cores)
+                )
+                obs_metrics.inc("prop.passes")
+                obs_metrics.inc("prop.chunks", q)
         return out
 
     def forward(self, features: np.ndarray) -> np.ndarray:
         """Mean-aggregate features, chunked along the feature dimension."""
         if features.shape[0] != self.num_vertices:
             raise ValueError("features rows must equal subgraph vertices")
-        return self._run(features, self._agg.forward)
+        return self._run(features, self._agg.forward, "prop.forward")
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         """Adjoint pass, same chunking and identical modeled cost."""
         if grad.shape[0] != self.num_vertices:
             raise ValueError("grad rows must equal subgraph vertices")
-        return self._run(grad, self._agg.backward)
+        return self._run(grad, self._agg.backward, "prop.backward")
 
     def total_simulated_time(self, *, cores: int | None = None) -> float:
         """Summed simulated time of every recorded pass."""

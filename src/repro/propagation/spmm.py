@@ -24,6 +24,8 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..graphs.csr import CSRGraph
+from ..obs import is_enabled as obs_enabled
+from ..obs import metrics as obs_metrics
 
 __all__ = ["spmm_sum_scipy", "spmm_sum_numpy", "MeanAggregator"]
 
@@ -86,6 +88,13 @@ class MeanAggregator:
         return self.graph.num_vertices
 
     def _spmm(self, x: np.ndarray) -> np.ndarray:
+        if obs_enabled():
+            # One SpMM op = one sparse row-sum over the whole matrix slice;
+            # flops ~ 2 * nnz * cols (multiply-free sum counted as adds).
+            obs_metrics.inc("spmm.ops")
+            obs_metrics.inc(
+                "spmm.flops", 2.0 * self.graph.num_edges_directed * x.shape[1]
+            )
         if self._mat is not None:
             return self._mat @ x
         return spmm_sum_numpy(self.graph, x)

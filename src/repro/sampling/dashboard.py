@@ -38,6 +38,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..graphs.csr import CSRGraph
+from ..obs import is_enabled as obs_enabled
+from ..obs import metrics as obs_metrics
+from ..obs.trace import span
 from ..parallel.costmodel import CostCounter
 from .base import GraphSampler, SampledSubgraph
 
@@ -78,6 +81,7 @@ class Dashboard:
         self.alive_entries = 0  # DB entries owned by current frontier
         self.counter = CostCounter()
         self.num_cleanups = 0
+        self.num_grows = 0
         self.num_pops = 0
         self.num_probes = 0
 
@@ -239,6 +243,7 @@ class Dashboard:
         )
         self.ia_alive = np.concatenate([self.ia_alive, np.zeros(extra, dtype=bool)])
         self.capacity = new_capacity
+        self.num_grows += 1
 
     def alive_vertices(self) -> np.ndarray:
         """Current frontier vertex ids (one per alive IA entry)."""
@@ -318,6 +323,10 @@ class DashboardFrontierSampler(GraphSampler):
         return max(cap, initial_entries + max_alloc)
 
     def sample(self, rng: np.random.Generator) -> SampledSubgraph:
+        with span("sampler.dashboard") as sp:
+            return self._sample(rng, sp)
+
+    def _sample(self, rng: np.random.Generator, sp) -> SampledSubgraph:
         graph = self.graph
         m = self.frontier_size
 
@@ -344,6 +353,23 @@ class DashboardFrontierSampler(GraphSampler):
                     board.grow(max(2 * board.capacity, board.used + entries))
             board.add(replacement, entries)
             sampled[m + i] = popped
+
+        if obs_enabled():
+            # Regenerate/occupancy telemetry: one guarded batch per sampled
+            # subgraph (never per pop — that is the O(1) hot loop).
+            obs_metrics.inc("sampler.pops", board.num_pops)
+            obs_metrics.inc("sampler.probes", board.num_probes)
+            obs_metrics.inc("sampler.cleanups", board.num_cleanups)
+            obs_metrics.inc("sampler.grows", board.num_grows)
+            obs_metrics.inc("sampler.subgraphs")
+            obs_metrics.observe("sampler.frontier_occupancy", board.valid_ratio)
+            obs_metrics.set_gauge("sampler.valid_ratio", board.valid_ratio)
+            sp.set(
+                pops=board.num_pops,
+                probes=board.num_probes,
+                cleanups=board.num_cleanups,
+                capacity=board.capacity,
+            )
 
         subgraph, vertex_map = graph.induced_subgraph(sampled)
         stats = {

@@ -15,6 +15,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..graphs.csr import CSRGraph
+from ..obs import is_enabled as obs_enabled
+from ..obs import metrics as obs_metrics
+from ..obs.trace import span
 from .base import GraphSampler, SampledSubgraph
 
 __all__ = ["FrontierSampler"]
@@ -58,6 +61,10 @@ class FrontierSampler(GraphSampler):
         self.budget = budget
 
     def sample(self, rng: np.random.Generator) -> SampledSubgraph:
+        with span("sampler.frontier") as sp:
+            return self._sample(rng, sp)
+
+    def _sample(self, rng: np.random.Generator, sp) -> SampledSubgraph:
         graph = self.graph
         m = self.frontier_size
         frontier = rng.choice(graph.num_vertices, size=m, replace=False)
@@ -76,6 +83,11 @@ class FrontierSampler(GraphSampler):
             frontier[slot] = replacement
             frontier_deg[slot] = graph.degrees[replacement]
             sampled[m + i] = popped
+
+        if obs_enabled():
+            obs_metrics.inc("sampler.pops", pops)
+            obs_metrics.inc("sampler.subgraphs")
+            sp.set(pops=pops, budget=self.budget)
 
         subgraph, vertex_map = graph.induced_subgraph(sampled)
         return SampledSubgraph(

@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import is_enabled as obs_enabled
+from ..obs.trace import span
 from ..parallel.costmodel import parallel_time
 from ..parallel.machine import MachineSpec
 from .base import GraphSampler, SampledSubgraph
@@ -84,31 +86,35 @@ class SubgraphPool:
         """Launch ``p_inter`` sampler instances and enqueue their output."""
         import time
 
-        t0 = time.perf_counter()
-        contention = self.machine.sampler_contention_factor(self.p_inter)
-        costs: list[float] = []
-        for _ in range(self.p_inter):
-            sub = self.sampler.sample(self.rng)
-            if sub.stats and "vector_elements" in sub.stats:
-                cost = simulated_sampler_time(
-                    sub.stats, self.machine, p_intra=self.p_intra, contention_factor=contention
-                )
-            else:
-                # Samplers without metering: charge their reported work (or
-                # subgraph size) serially.
-                cost = sub.stats.get(
-                    "distribution_work", float(sub.num_vertices)
-                )
-            costs.append(cost)
-            self._queue.append(sub)
-        makespan = parallel_time(costs, min(self.p_inter, self.machine.num_cores))
-        fill = PoolFill(
-            num_subgraphs=self.p_inter,
-            simulated_makespan=makespan,
-            simulated_total_work=float(sum(costs)),
-            wall_seconds=time.perf_counter() - t0,
-        )
-        self.fills.append(fill)
+        with span("sampler.pool.refill") as sp:
+            t0 = time.perf_counter()
+            contention = self.machine.sampler_contention_factor(self.p_inter)
+            costs: list[float] = []
+            for _ in range(self.p_inter):
+                sub = self.sampler.sample(self.rng)
+                if sub.stats and "vector_elements" in sub.stats:
+                    cost = simulated_sampler_time(
+                        sub.stats, self.machine, p_intra=self.p_intra, contention_factor=contention
+                    )
+                else:
+                    # Samplers without metering: charge their reported work (or
+                    # subgraph size) serially.
+                    cost = sub.stats.get(
+                        "distribution_work", float(sub.num_vertices)
+                    )
+                costs.append(cost)
+                self._queue.append(sub)
+            makespan = parallel_time(costs, min(self.p_inter, self.machine.num_cores))
+            fill = PoolFill(
+                num_subgraphs=self.p_inter,
+                simulated_makespan=makespan,
+                simulated_total_work=float(sum(costs)),
+                wall_seconds=time.perf_counter() - t0,
+            )
+            self.fills.append(fill)
+            if obs_enabled():
+                sp.set(subgraphs=fill.num_subgraphs)
+                sp.add_sim_time(makespan)
         return fill
 
     def get(self) -> tuple[SampledSubgraph, float]:

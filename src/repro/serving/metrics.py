@@ -5,75 +5,19 @@ the serving layer does the same. :class:`LatencyHistogram` keeps raw
 samples and computes exact percentiles (linear interpolation, matching
 ``np.percentile``'s default), so the p50/p95/p99 columns are testable
 against the numpy oracle rather than approximations from fixed buckets.
+
+The histogram implementation now lives in :mod:`repro.obs.metrics` (the
+cross-cutting observability layer grew out of it); it is re-exported
+here so the serving API is unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
+from ..obs.metrics import LatencyHistogram
 
 __all__ = ["LatencyHistogram", "ServingMetrics"]
-
-
-class LatencyHistogram:
-    """Latency sample accumulator with exact percentile queries."""
-
-    def __init__(self) -> None:
-        self._samples: list[float] = []
-
-    def record(self, value: float) -> None:
-        """Add one latency sample (seconds)."""
-        if value < 0:
-            raise ValueError("latency cannot be negative")
-        self._samples.append(float(value))
-
-    def extend(self, values) -> None:
-        """Add many samples."""
-        for v in values:
-            self.record(v)
-
-    def __len__(self) -> int:
-        return len(self._samples)
-
-    @property
-    def count(self) -> int:
-        """Number of recorded samples."""
-        return len(self._samples)
-
-    def percentile(self, q: float) -> float:
-        """Exact ``q``-th percentile (linear interpolation); NaN if empty."""
-        if not 0 <= q <= 100:
-            raise ValueError("q must be in [0, 100]")
-        if not self._samples:
-            return float("nan")
-        xs = np.sort(np.asarray(self._samples))
-        # Linear interpolation between closest ranks, the numpy default.
-        pos = (q / 100.0) * (xs.size - 1)
-        lo = int(np.floor(pos))
-        hi = int(np.ceil(pos))
-        frac = pos - lo
-        return float(xs[lo] * (1.0 - frac) + xs[hi] * frac)
-
-    def mean(self) -> float:
-        """Arithmetic mean; NaN if empty."""
-        return float(np.mean(self._samples)) if self._samples else float("nan")
-
-    def max(self) -> float:
-        """Largest sample; NaN if empty."""
-        return float(np.max(self._samples)) if self._samples else float("nan")
-
-    def summary(self, scale: float = 1.0) -> dict[str, float]:
-        """p50/p95/p99/mean/max/count, with values multiplied by ``scale``
-        (e.g. ``1e3`` for milliseconds)."""
-        return {
-            "count": float(self.count),
-            "p50": self.percentile(50) * scale,
-            "p95": self.percentile(95) * scale,
-            "p99": self.percentile(99) * scale,
-            "mean": self.mean() * scale,
-            "max": self.max() * scale,
-        }
 
 
 @dataclass

@@ -28,6 +28,9 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs import is_enabled as obs_enabled
+from ..obs import metrics as obs_metrics
+from ..obs.trace import span
 from .batcher import MicroBatcher, Request
 from .cache import LRUCache
 from .index import BruteForceIndex, ClusterIndex, build_index
@@ -123,7 +126,27 @@ class EmbeddingServer:
     def serve_trace(
         self, trace: QueryTrace, *, collect_results: bool = False
     ) -> TraceReplay:
-        """Replay ``trace`` through the event loop; return metrics."""
+        """Replay ``trace`` through the event loop; return metrics.
+
+        With :mod:`repro.obs` enabled, the replay records one
+        ``serve.trace`` span with a ``serve.batch`` child per dispatched
+        batch (the index scan itself under ``serve.search``), plus
+        admission/cache/shed counters on the shared registry.
+        """
+        with span("serve.trace") as sp:
+            replay = self._serve_trace(trace, collect_results=collect_results)
+        if obs_enabled():
+            sp.set(requests=len(trace), served=replay.metrics.served)
+            obs_metrics.inc("serve.requests", len(trace))
+            obs_metrics.inc("serve.served", replay.metrics.served)
+            obs_metrics.inc("serve.shed", replay.metrics.shed)
+            obs_metrics.inc("serve.cache_hits", replay.metrics.cache_hits)
+            obs_metrics.inc("serve.cache_misses", replay.metrics.cache_misses)
+        return replay
+
+    def _serve_trace(
+        self, trace: QueryTrace, *, collect_results: bool = False
+    ) -> TraceReplay:
         cfg = self.config
         metrics = ServingMetrics()
         batcher = MicroBatcher(
@@ -204,13 +227,20 @@ class EmbeddingServer:
             (r.query_id for r in batch), dtype=np.int64, count=len(batch)
         )
         kmax = max(r.k for r in batch)
-        t0 = time.perf_counter()
-        if probes is None:
-            idx, _ = self.index.search_ids(qids, kmax)
-        else:
-            idx, _ = self.index.search_ids(qids, kmax, probes=probes)
-        measured = time.perf_counter() - t0
-        rows = getattr(self.index, "last_rows_scanned", 0)
+        with span("serve.batch") as batch_sp:
+            with span("serve.search"):
+                t0 = time.perf_counter()
+                if probes is None:
+                    idx, _ = self.index.search_ids(qids, kmax)
+                else:
+                    idx, _ = self.index.search_ids(qids, kmax, probes=probes)
+                measured = time.perf_counter() - t0
+            rows = getattr(self.index, "last_rows_scanned", 0)
+            if obs_enabled():
+                batch_sp.set(size=len(batch), rows=rows, lateness=lateness)
+                obs_metrics.inc("serve.batches")
+                obs_metrics.inc("serve.rows_scanned", rows)
+                obs_metrics.observe("serve.batch_size", len(batch))
         duration = (
             measured
             if self.service_model is None

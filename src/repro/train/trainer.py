@@ -28,6 +28,9 @@ import numpy as np
 from ..analysis.speedup import gemm_simulated_time
 from ..graphs.csr import CSRGraph
 from ..graphs.datasets import Dataset
+from ..obs import is_enabled as obs_enabled
+from ..obs import metrics as obs_metrics
+from ..obs.trace import span
 from ..nn.loss import make_loss
 from ..nn.network import GCN
 from ..nn.optim import Adam
@@ -198,43 +201,60 @@ class GraphSamplingTrainer:
         return 3.0 * fwd
 
     def train_iteration(self, iteration: int, result: TrainResult) -> float:
-        """One Algorithm-5 iteration; returns the minibatch loss."""
+        """One Algorithm-5 iteration; returns the minibatch loss.
+
+        When :mod:`repro.obs` is enabled, the iteration records a span
+        tree — ``trainer.iteration`` with children ``trainer.sample``
+        (pool pop + minibatch gather), ``trainer.forward`` and
+        ``trainer.backward`` (which includes the optimizer step); the
+        ``prop.forward``/``prop.backward`` spans of the partitioned
+        propagator nest under forward/backward.
+        """
         cfg = self.config
-        subgraph, samp_time = self.pool.get()
-        result.trace.record(PHASE_SAMPLING, samp_time, iteration)
+        with span("trainer.iteration") as it_sp:
+            with span("trainer.sample") as s_sp:
+                subgraph, samp_time = self.pool.get()
+                propagator = PartitionedPropagator(
+                    subgraph.graph, cfg.machine, cores=cfg.cores
+                )
+                feats = self.train_features[subgraph.vertex_map]
+                labels = self.train_labels[subgraph.vertex_map]
+            result.trace.record(PHASE_SAMPLING, samp_time, iteration)
 
-        propagator = PartitionedPropagator(
-            subgraph.graph, cfg.machine, cores=cfg.cores
-        )
-        feats = self.train_features[subgraph.vertex_map]
-        labels = self.train_labels[subgraph.vertex_map]
+            self.model.zero_grad()
+            with span("trainer.forward"):
+                logits = self.model.forward(feats, propagator, train=True)
+                batch_loss = self.loss.forward(logits, labels)
+            with span("trainer.backward"):
+                self.model.backward(self.loss.backward(logits, labels))
+                self.optimizer.step(self.model.parameter_groups())
 
-        self.model.zero_grad()
-        logits = self.model.forward(feats, propagator, train=True)
-        batch_loss = self.loss.forward(logits, labels)
-        self.model.backward(self.loss.backward(logits, labels))
-        self.optimizer.step(self.model.parameter_groups())
-
-        gemm_flops = self._gemm_flops_per_iteration(subgraph.num_vertices)
-        result.trace.record(
-            PHASE_FEATURE_PROP,
-            propagator.total_simulated_time(cores=cfg.cores),
-            iteration,
-        )
-        result.trace.record(
-            PHASE_WEIGHT_APP,
-            gemm_simulated_time(gemm_flops, cfg.machine, cores=cfg.cores),
-            iteration,
-        )
-        result.iteration_metrics.append(
-            IterationMetrics(
-                sampler_stats=dict(subgraph.stats),
-                prop_reports=tuple(propagator.reports),
-                gemm_flops=gemm_flops,
-                subgraph_vertices=subgraph.num_vertices,
-                subgraph_edges=subgraph.graph.num_edges,
+            gemm_flops = self._gemm_flops_per_iteration(subgraph.num_vertices)
+            gemm_sim = gemm_simulated_time(gemm_flops, cfg.machine, cores=cfg.cores)
+            result.trace.record(
+                PHASE_FEATURE_PROP,
+                propagator.total_simulated_time(cores=cfg.cores),
+                iteration,
             )
-        )
+            result.trace.record(PHASE_WEIGHT_APP, gemm_sim, iteration)
+            result.iteration_metrics.append(
+                IterationMetrics(
+                    sampler_stats=dict(subgraph.stats),
+                    prop_reports=tuple(propagator.reports),
+                    gemm_flops=gemm_flops,
+                    subgraph_vertices=subgraph.num_vertices,
+                    subgraph_edges=subgraph.graph.num_edges,
+                )
+            )
+            if obs_enabled():
+                s_sp.add_sim_time(samp_time)
+                it_sp.add_sim_time(gemm_sim)
+                it_sp.set(
+                    iteration=iteration,
+                    vertices=subgraph.num_vertices,
+                    edges=subgraph.graph.num_edges,
+                )
+                obs_metrics.inc("trainer.iterations")
         return batch_loss
 
     def train(self, *, epochs: int | None = None) -> TrainResult:
@@ -247,17 +267,20 @@ class GraphSamplingTrainer:
         best_state: dict[str, np.ndarray] | None = None
         stale_evals = 0
         for epoch in range(total_epochs):
-            t0 = time.perf_counter()
-            losses = []
-            for _ in range(self.batches_per_epoch):
-                losses.append(self.train_iteration(result.iterations, result))
-                result.iterations += 1
-            wall_total += time.perf_counter() - t0
-            val = (
-                self.evaluator.evaluate(self.model, "val")
-                if (epoch + 1) % cfg.eval_every == 0
-                else None
-            )
+            with span("trainer.epoch") as ep_sp:
+                t0 = time.perf_counter()
+                losses = []
+                for _ in range(self.batches_per_epoch):
+                    losses.append(self.train_iteration(result.iterations, result))
+                    result.iterations += 1
+                wall_total += time.perf_counter() - t0
+                if obs_enabled():
+                    ep_sp.set(epoch=epoch)
+                if (epoch + 1) % cfg.eval_every == 0:
+                    with span("trainer.eval"):
+                        val = self.evaluator.evaluate(self.model, "val")
+                else:
+                    val = None
             result.epochs.append(
                 EpochRecord(
                     epoch=epoch,

@@ -1,0 +1,69 @@
+"""Docs stay true: link integrity and architecture/code agreement.
+
+Runs the same checks as the CI ``docs`` job (``tools/check_docs.py``) so
+the tier-1 suite catches drift before CI does.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_docs = _load_checker()
+
+
+def test_required_docs_exist():
+    for rel in check_docs.DOC_FILES:
+        assert (REPO_ROOT / rel).exists(), f"missing doc: {rel}"
+
+
+def test_intra_repo_markdown_links_resolve():
+    assert check_docs.check_links(REPO_ROOT) == []
+
+
+def test_referenced_code_paths_exist():
+    assert check_docs.check_code_paths(REPO_ROOT) == []
+
+
+def test_architecture_names_every_public_package():
+    """Every subpackage of repro (plus repro.cli) appears in the
+    architecture doc, so new subsystems must be documented to land."""
+    mentioned = set(check_docs.architecture_modules(REPO_ROOT))
+    src = REPO_ROOT / "src" / "repro"
+    public = {
+        f"repro.{p.name}" for p in src.iterdir() if (p / "__init__.py").exists()
+    }
+    public.add("repro.cli")
+    missing = {
+        pkg
+        for pkg in public
+        if pkg not in mentioned and not any(m.startswith(pkg + ".") for m in mentioned)
+    }
+    assert not missing, f"architecture.md does not mention: {sorted(missing)}"
+
+
+def test_architecture_modules_import():
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        assert check_docs.check_architecture_imports(REPO_ROOT) == []
+    finally:
+        sys.path.remove(str(REPO_ROOT / "src"))
+
+
+def test_readme_links_new_docs():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert "docs/architecture.md" in readme
+    assert "docs/observability.md" in readme

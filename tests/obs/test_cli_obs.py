@@ -1,0 +1,100 @@
+"""CLI surface: `train-bench` exports a trace, `obs-report` renders it."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_commands_known(self):
+        parser = build_parser()
+        for name in ("train-bench", "obs-report"):
+            assert parser.parse_args([name]).experiment == name
+
+    def test_trace_option(self, tmp_path):
+        args = build_parser().parse_args(
+            ["obs-report", "--trace", str(tmp_path / "OBS_x.json")]
+        )
+        assert args.trace == tmp_path / "OBS_x.json"
+
+
+class TestTrainBench:
+    @pytest.fixture(scope="class")
+    def bench_out(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("obs_cli")
+        code = main(
+            [
+                "train-bench",
+                "--out",
+                str(out),
+                "--epoch-scale",
+                "0.34",  # 1 epoch: the point is the trace, not accuracy
+                "--hidden",
+                "32",
+            ]
+        )
+        assert code == 0
+        return out
+
+    def test_writes_all_artifacts(self, bench_out):
+        assert (bench_out / "train_bench.txt").exists()
+        assert (bench_out / "OBS_train_bench.json").exists()
+        assert (bench_out / "train_bench.chrome.json").exists()
+
+    def test_trace_document_shape(self, bench_out):
+        doc = json.loads((bench_out / "OBS_train_bench.json").read_text())
+        assert doc["obs"] == "train_bench"
+        for phase in (
+            "trainer.iteration",
+            "trainer.sample",
+            "trainer.forward",
+            "trainer.backward",
+        ):
+            assert phase in doc["phases"], phase
+        assert doc["meta"]["dataset"] == "ppi"
+        assert doc["meta"]["iterations"] >= 1
+        assert doc["metrics"]["counters"]["trainer.iterations"] >= 1.0
+
+    def test_coverage_in_exported_trace(self, bench_out):
+        """The exported span tree itself satisfies the >=95% criterion."""
+        doc = json.loads((bench_out / "OBS_train_bench.json").read_text())
+
+        def iterations(node):
+            if node["name"] == "trainer.iteration":
+                yield node
+            for child in node["children"]:
+                yield from iterations(child)
+
+        iters = [it for root in doc["spans"] for it in iterations(root)]
+        assert iters
+        total = sum(it["duration"] for it in iters)
+        covered = sum(c["duration"] for it in iters for c in it["children"])
+        assert covered / total >= 0.95
+
+    def test_chrome_trace_loads(self, bench_out):
+        data = json.loads((bench_out / "train_bench.chrome.json").read_text())
+        events = data["traceEvents"]
+        assert events
+        assert all(e["ph"] == "X" for e in events)
+        assert min(e["ts"] for e in events) == 0.0
+
+    def test_obs_report_renders_export(self, bench_out, capsys):
+        code = main(
+            ["obs-report", "--trace", str(bench_out / "OBS_train_bench.json")]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "obs report: train_bench" in text
+        assert "trainer.iteration" in text
+        assert "counters" in text
+
+
+class TestObsReportErrors:
+    def test_requires_trace(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["obs-report"])
+        assert exc.value.code == 2

@@ -1,0 +1,146 @@
+"""Exporters: trace documents, Chrome events, OBS_*.json, reports."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import export, metrics
+from repro.obs.export import (
+    load_trace,
+    render_report,
+    span_to_dict,
+    to_chrome_trace,
+    trace_document,
+    write_chrome_trace,
+    write_obs_json,
+    write_trace_json,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+from .conftest import FakeClock
+
+
+def _small_trace() -> Tracer:
+    tr = Tracer(clock=FakeClock(step=1.0))
+    with tr.span("iter", n=10) as it:
+        it.add_sim_time(7.0)
+        with tr.span("work"):
+            pass
+    return tr
+
+
+class TestSpanToDict:
+    def test_roundtrips_structure(self):
+        tr = _small_trace()
+        d = span_to_dict(tr.roots[0])
+        assert d["name"] == "iter"
+        assert d["duration"] == 3.0
+        assert d["sim_time"] == 7.0
+        assert d["attrs"] == {"n": 10}
+        assert [c["name"] for c in d["children"]] == ["work"]
+
+    def test_non_finite_attrs_become_null(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("s") as sp:
+            sp.set(bad=float("nan"), worse=float("inf"), ok=1.5)
+        d = span_to_dict(tr.roots[0])
+        assert d["attrs"] == {"bad": None, "worse": None, "ok": 1.5}
+        json.dumps(d)  # strictly JSON-serializable
+
+
+class TestTraceDocument:
+    def test_shape(self):
+        tr = _small_trace()
+        reg = MetricsRegistry()
+        reg.counter("ops").add(4)
+        doc = trace_document("demo", tr, reg)
+        assert doc["obs"] == "demo"
+        assert set(doc["phases"]) == {"iter", "work"}
+        assert doc["phases"]["iter"]["sim_time"] == 7.0
+        assert doc["metrics"]["counters"] == {"ops": 4.0}
+        assert [s["name"] for s in doc["spans"]] == ["iter"]
+
+
+class TestChromeTrace:
+    def test_events(self):
+        tr = _small_trace()
+        events = to_chrome_trace(tr.roots)
+        assert [e["name"] for e in events] == ["iter", "work"]
+        iter_ev, work_ev = events
+        assert iter_ev["ph"] == "X"
+        assert iter_ev["ts"] == 0.0
+        assert iter_ev["dur"] == 3.0 * 1e6
+        assert work_ev["ts"] == 1.0 * 1e6
+        assert work_ev["dur"] == 1.0 * 1e6
+        assert iter_ev["args"]["sim_time"] == 7.0
+
+    def test_open_spans_skipped_and_empty_ok(self):
+        assert to_chrome_trace([]) == []
+        tr = Tracer(clock=FakeClock())
+        tr.span("never-closed")
+        assert to_chrome_trace(tr.roots) == []
+
+    def test_write_chrome_trace(self, tmp_path):
+        tr = _small_trace()
+        path = write_chrome_trace(tmp_path / "t.chrome.json", tr)
+        data = json.loads(path.read_text())
+        assert len(data["traceEvents"]) == 2
+
+
+class TestFileRoundtrips:
+    def test_write_and_load_trace_json(self, tmp_path):
+        tr = _small_trace()
+        path = write_trace_json(tmp_path / "trace.json", "demo", tr, MetricsRegistry())
+        doc = load_trace(path)
+        assert doc["obs"] == "demo"
+        assert doc["spans"][0]["children"][0]["name"] == "work"
+
+    def test_obs_json_flat_and_sorted(self, tmp_path):
+        tr = _small_trace()
+        reg = MetricsRegistry()
+        reg.counter("z").add(1)
+        reg.counter("a").add(2)
+        path = write_obs_json(tmp_path / "OBS_demo.json", "demo", tr, reg)
+        doc = load_trace(path)
+        assert doc["obs"] == "demo"
+        assert "spans" not in doc  # flat summary, no tree
+        assert doc["phases"]["iter"]["count"] == 1.0
+        assert list(doc["metrics"]["counters"]) == ["a", "z"]
+
+    def test_global_default_arguments(self, tmp_path):
+        from repro import obs
+
+        with obs.enabled():
+            with obs.span("g"):
+                metrics.inc("touched")
+        doc = export.trace_document("global")
+        assert "g" in doc["phases"]
+        assert doc["metrics"]["counters"]["touched"] == 1.0
+        path = export.write_obs_json(tmp_path / "OBS_global.json", "global")
+        assert load_trace(path)["obs"] == "global"
+
+
+class TestRenderReport:
+    def test_report_contains_phases_and_counters(self):
+        tr = _small_trace()
+        reg = MetricsRegistry()
+        reg.counter("sampler.pops").add(42)
+        text = render_report(trace_document("demo", tr, reg))
+        assert "obs report: demo" in text
+        assert "iter" in text and "work" in text
+        assert "wall_%" in text
+        assert "sampler.pops" in text
+
+    def test_self_time_percentages_sum_to_100(self):
+        tr = _small_trace()
+        doc = trace_document("demo", tr, MetricsRegistry())
+        total_self = sum(p["self_seconds"] for p in doc["phases"].values())
+        shares = [
+            100.0 * p["self_seconds"] / total_self for p in doc["phases"].values()
+        ]
+        assert sum(shares) == 100.0
+
+    def test_empty_document(self):
+        text = render_report({"obs": "empty", "phases": {}})
+        assert "no spans recorded" in text

@@ -1,0 +1,140 @@
+"""Counters/gauges/histograms: numpy-oracle percentiles, gating, registry."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import metrics
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestHistogram:
+    def test_percentiles_match_numpy_oracle(self, rng):
+        for n in (1, 2, 3, 10, 101, 500):
+            samples = rng.normal(size=n)
+            hist = Histogram()
+            hist.extend(samples)
+            for q in (0.0, 1.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0):
+                assert hist.percentile(q) == pytest.approx(
+                    float(np.percentile(samples, q)), rel=1e-12, abs=1e-12
+                ), (n, q)
+
+    def test_empty_is_nan(self):
+        hist = Histogram()
+        assert math.isnan(hist.percentile(50))
+        assert math.isnan(hist.mean())
+        assert math.isnan(hist.max())
+
+    def test_q_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(101)
+        with pytest.raises(ValueError):
+            Histogram().percentile(-1)
+
+    def test_summary_scaling(self):
+        hist = Histogram()
+        hist.extend([0.001, 0.002, 0.003])
+        s = hist.summary(scale=1e3)
+        assert s["count"] == 3.0
+        assert s["p50"] == pytest.approx(2.0)
+        assert s["mean"] == pytest.approx(2.0)
+        assert s["max"] == pytest.approx(3.0)
+
+    def test_reset(self):
+        hist = Histogram()
+        hist.record(1.0)
+        hist.reset()
+        assert len(hist) == 0
+
+
+class TestCounterGauge:
+    def test_counter(self):
+        c = Counter()
+        c.add()
+        c.add(2.5)
+        assert c.value == 3.5
+        c.reset()
+        assert c.value == 0.0
+
+    def test_gauge(self):
+        g = Gauge()
+        assert math.isnan(g.value)
+        g.set(0.7)
+        assert g.value == 0.7
+
+
+class TestRegistry:
+    def test_create_on_touch_and_identity(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("ops").add(3)
+        reg.gauge("ratio").set(0.5)
+        reg.histogram("lat").extend([1.0, 2.0])
+        reg.histogram("empty")  # never written: excluded from snapshot
+        snap = reg.snapshot()
+        assert snap["counters"] == {"ops": 3.0}
+        assert snap["gauges"] == {"ratio": 0.5}
+        assert set(snap["histograms"]) == {"lat"}
+        assert snap["histograms"]["lat"]["count"] == 2.0
+
+    def test_reset_drops_names(self):
+        reg = MetricsRegistry()
+        reg.counter("x").add()
+        reg.reset()
+        assert reg.snapshot()["counters"] == {}
+
+
+class TestGuardedHelpers:
+    def test_noop_while_disabled(self):
+        metrics.inc("c")
+        metrics.set_gauge("g", 1.0)
+        metrics.observe("h", 1.0)
+        snap = metrics.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+
+    def test_record_while_enabled(self):
+        with obs.enabled():
+            metrics.inc("c", 2)
+            metrics.inc("c")
+            metrics.set_gauge("g", 0.25)
+            metrics.observe("h", 5.0)
+        snap = metrics.snapshot()
+        assert snap["counters"]["c"] == 3.0
+        assert snap["gauges"]["g"] == 0.25
+        assert snap["histograms"]["h"]["count"] == 1.0
+
+
+class TestServingCompat:
+    def test_latency_histogram_is_shared_implementation(self):
+        from repro.obs.metrics import LatencyHistogram as obs_lh
+        from repro.serving.metrics import LatencyHistogram as serving_lh
+
+        assert obs_lh is serving_lh
+        assert issubclass(obs_lh, Histogram)
+
+    def test_latency_rejects_negative(self):
+        from repro.obs.metrics import LatencyHistogram
+
+        with pytest.raises(ValueError):
+            LatencyHistogram().record(-0.001)
+
+    def test_serving_metrics_reexported_both_ways(self):
+        from repro.obs.metrics import ServingMetrics as via_obs
+        from repro.serving.metrics import ServingMetrics as via_serving
+
+        assert via_obs is via_serving
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            metrics.does_not_exist

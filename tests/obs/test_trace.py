@@ -1,0 +1,185 @@
+"""Span/tracer semantics: nesting, clocks, determinism, aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import NOOP_SPAN, Span, Tracer, aggregate, walk
+
+from .conftest import FakeClock
+
+
+class TestNesting:
+    def test_children_attach_to_open_parent(self, fake_clock):
+        tr = Tracer(clock=fake_clock)
+        with tr.span("outer"):
+            with tr.span("inner"):
+                with tr.span("innermost"):
+                    pass
+            with tr.span("sibling"):
+                pass
+        assert [r.name for r in tr.roots] == ["outer"]
+        outer = tr.roots[0]
+        assert [c.name for c in outer.children] == ["inner", "sibling"]
+        assert [c.name for c in outer.children[0].children] == ["innermost"]
+
+    def test_sequential_roots(self, fake_clock):
+        tr = Tracer(clock=fake_clock)
+        with tr.span("a"):
+            pass
+        with tr.span("b"):
+            pass
+        assert [r.name for r in tr.roots] == ["a", "b"]
+        assert all(not r.children for r in tr.roots)
+
+    def test_current_tracks_stack(self, fake_clock):
+        tr = Tracer(clock=fake_clock)
+        assert tr.current() is None
+        with tr.span("outer") as outer:
+            assert tr.current() is outer
+            with tr.span("inner") as inner:
+                assert tr.current() is inner
+            assert tr.current() is outer
+        assert tr.current() is None
+
+    def test_out_of_order_exit_unwinds(self, fake_clock):
+        tr = Tracer(clock=fake_clock)
+        outer = tr.span("outer")
+        leaked = tr.span("leaked")
+        outer.__exit__(None, None, None)  # exit parent before child
+        assert tr.current() is None
+        assert leaked.t_end is not None  # closed at the same instant
+        assert leaked.t_end == outer.t_end
+
+    def test_exception_recorded_and_reraised(self, fake_clock):
+        tr = Tracer(clock=fake_clock)
+        with pytest.raises(ValueError):
+            with tr.span("failing"):
+                raise ValueError("boom")
+        sp = tr.roots[0]
+        assert sp.attrs["error"] == "ValueError"
+        assert sp.t_end is not None
+
+
+class TestClockAndTimes:
+    def test_deterministic_clock_gives_exact_durations(self):
+        tr = Tracer(clock=FakeClock(step=1.0))
+        with tr.span("outer"):          # start t=0
+            with tr.span("inner"):      # start t=1
+                pass                    # end   t=2
+        # outer ends t=3
+        outer = tr.roots[0]
+        inner = outer.children[0]
+        assert outer.duration == 3.0
+        assert inner.duration == 1.0
+        assert outer.self_seconds == 2.0
+
+    def test_two_runs_identical(self):
+        def run():
+            tr = Tracer(clock=FakeClock(step=0.5))
+            with tr.span("outer", k=1):
+                with tr.span("inner"):
+                    pass
+            from repro.obs.export import span_to_dict
+
+            return [span_to_dict(r) for r in tr.roots]
+
+        assert run() == run()
+
+    def test_sim_time_accumulates_and_totals(self, fake_clock):
+        tr = Tracer(clock=fake_clock)
+        with tr.span("outer") as outer:
+            outer.add_sim_time(2.0)
+            with tr.span("inner") as inner:
+                inner.add_sim_time(3.0)
+                inner.add_sim_time(1.0)
+        assert outer.sim_time == 2.0
+        assert inner.sim_time == 4.0
+        assert outer.total_sim_time() == 6.0
+
+    def test_open_span_duration_zero(self, fake_clock):
+        tr = Tracer(clock=fake_clock)
+        sp = tr.span("open")
+        assert sp.duration == 0.0
+
+    def test_attrs_via_kwargs_and_set(self, fake_clock):
+        tr = Tracer(clock=fake_clock)
+        with tr.span("s", a=1) as sp:
+            sp.set(b=2).set(a=3)
+        assert sp.attrs == {"a": 3, "b": 2}
+
+
+class TestGlobalApi:
+    def test_disabled_returns_noop_singleton(self):
+        assert obs.span("anything") is NOOP_SPAN
+        assert obs.span("other") is NOOP_SPAN
+        assert obs.current_span() is None
+        assert obs.get_tracer().roots == []
+
+    def test_enabled_records_then_restores(self):
+        assert not obs.is_enabled()
+        with obs.enabled():
+            assert obs.is_enabled()
+            with obs.span("root") as sp:
+                assert isinstance(sp, Span)
+                assert obs.current_span() is sp
+        assert not obs.is_enabled()
+        assert [r.name for r in obs.get_tracer().roots] == ["root"]
+
+    def test_enabled_nests_and_restores_prior_state(self):
+        with obs.enabled():
+            with obs.enabled(False):
+                assert not obs.is_enabled()
+                assert obs.span("hidden") is NOOP_SPAN
+            assert obs.is_enabled()
+
+    def test_set_tracer_swaps_global(self, fake_clock):
+        prev = obs.get_tracer()
+        mine = Tracer(clock=fake_clock)
+        try:
+            assert obs.set_tracer(mine) is prev
+            with obs.enabled():
+                with obs.span("x"):
+                    pass
+            assert [r.name for r in mine.roots] == ["x"]
+            assert prev.roots == []
+        finally:
+            obs.set_tracer(prev)
+
+    def test_reset_clears(self):
+        with obs.enabled():
+            with obs.span("x"):
+                pass
+        obs.reset()
+        assert obs.get_tracer().roots == []
+
+
+class TestAggregate:
+    def test_walk_depth_first(self, fake_clock):
+        tr = Tracer(clock=fake_clock)
+        with tr.span("a"):
+            with tr.span("b"):
+                with tr.span("c"):
+                    pass
+            with tr.span("d"):
+                pass
+        names = [sp.name for sp in walk(tr.roots[0])]
+        assert names == ["a", "b", "c", "d"]
+
+    def test_aggregate_groups_by_name(self):
+        tr = Tracer(clock=FakeClock(step=1.0))
+        for _ in range(3):
+            with tr.span("iter") as it:
+                it.add_sim_time(5.0)
+                with tr.span("work"):
+                    pass
+        stats = aggregate(tr.roots)
+        assert stats["iter"].count == 3
+        assert stats["work"].count == 3
+        # each iter spans 3 ticks, each work 1 tick
+        assert stats["iter"].wall_seconds == pytest.approx(9.0)
+        assert stats["work"].wall_seconds == pytest.approx(3.0)
+        assert stats["iter"].self_seconds == pytest.approx(6.0)
+        assert stats["iter"].sim_time == pytest.approx(15.0)
+        assert stats["iter"].as_dict()["count"] == 3.0
