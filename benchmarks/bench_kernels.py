@@ -12,6 +12,8 @@ import numpy as np
 import pytest
 
 from repro.graphs.datasets import make_dataset
+from repro.kernels import accounting
+from repro.kernels import ops as kernel_ops
 from repro.nn.loss import make_loss
 from repro.nn.network import GCN
 from repro.propagation.feature_prop import PartitionedPropagator
@@ -20,6 +22,8 @@ from repro.parallel.machine import xeon_40core
 from repro.sampling.dashboard import DashboardFrontierSampler
 from repro.sampling.frontier import FrontierSampler
 from repro.baselines.graphsage import sample_supports
+from repro.train.config import TrainConfig
+from repro.train.trainer import GraphSamplingTrainer
 
 
 @pytest.fixture(scope="module")
@@ -31,6 +35,27 @@ def dataset():
 def features(dataset):
     rng = np.random.default_rng(0)
     return rng.standard_normal((dataset.graph.num_vertices, 256))
+
+
+class TestGemmKernels:
+    """Dense throughput of the two dtype-policy paths."""
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_gemm(self, benchmark, dtype):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((2000, 256)).astype(dtype)
+        b = rng.standard_normal((256, 256)).astype(dtype)
+        out = np.empty((2000, 256), dtype=dtype)
+        benchmark(kernel_ops.gemm, a, b, out=out)
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_spmm(self, benchmark, dataset, dtype):
+        x = (
+            np.random.default_rng(0)
+            .standard_normal((dataset.graph.num_vertices, 128))
+            .astype(dtype)
+        )
+        benchmark(kernel_ops.spmm, dataset.graph, x)
 
 
 class TestSpmmKernels:
@@ -97,3 +122,72 @@ class TestTrainingIteration:
             return value
 
         benchmark(step)
+
+
+class TestDtypePolicyComparison:
+    """The acceptance numbers for the dtype-policy tentpole.
+
+    Trains the same fixed-seed model under the float64 reference policy
+    (no workspace — the seed-era allocation pattern) and the float32 fast
+    policy (workspace arena), then asserts the two promises the fast path
+    makes: validation F1 within 0.01 of the reference, and the
+    weight-application (GEMM) phase at least 1.25x faster. The measured
+    payload is stashed on the pytest config so the session-finish hook
+    merges it into ``BENCH_kernels.json``.
+    """
+
+    def _run_policy(self, dataset, policy: str) -> dict:
+        config = TrainConfig(
+            hidden_dims=(128, 128),
+            frontier_size=100,
+            budget=500,
+            epochs=6,
+            eval_every=6,
+            seed=0,
+            dtype_policy=policy,
+        )
+        trainer = GraphSamplingTrainer(dataset, config)
+        with accounting.capture() as costs:
+            result = trainer.train()
+        iterations = max(result.iterations, 1)
+        ws = trainer.workspace
+        row = {
+            "policy": policy,
+            "final_val_f1": result.final_val_f1,
+            "iterations": result.iterations,
+            "gemm_seconds": costs.gemm_seconds,
+            "spmm_seconds": costs.spmm_seconds,
+            "gemm_flops": costs.gemm_flops,
+            # Allocation behavior: without a workspace every kernel call
+            # allocates its result; with one, only workspace misses do.
+            "allocs_per_iteration": (
+                ws.misses / iterations
+                if ws is not None
+                else (costs.gemm_calls + costs.spmm_calls) / iterations
+            ),
+            "workspace": ws.stats() if ws is not None else None,
+        }
+        return row
+
+    def test_reference_vs_fast_policy(self, request, dataset):
+        reference = self._run_policy(dataset, "reference")
+        fast = self._run_policy(dataset, "fast")
+        f1_gap = abs(reference["final_val_f1"] - fast["final_val_f1"])
+        speedup = reference["gemm_seconds"] / fast["gemm_seconds"]
+        payload = {
+            "reference": reference,
+            "fast": fast,
+            "f1_gap": f1_gap,
+            "weight_application_speedup": speedup,
+        }
+        request.config._kernel_policy_bench = payload
+        print(
+            f"\n[policy] f1 ref={reference['final_val_f1']:.4f} "
+            f"fast={fast['final_val_f1']:.4f} (gap {f1_gap:.4f}); "
+            f"gemm {reference['gemm_seconds']:.3f}s -> "
+            f"{fast['gemm_seconds']:.3f}s ({speedup:.2f}x); "
+            f"allocs/iter {reference['allocs_per_iteration']:.1f} -> "
+            f"{fast['allocs_per_iteration']:.1f}"
+        )
+        assert f1_gap <= 0.01
+        assert speedup >= 1.25

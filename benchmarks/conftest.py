@@ -92,11 +92,10 @@ def pytest_sessionfinish(session, exitstatus):
     *is* the timing — so the trajectory file is assembled from the
     benchmark session's stats after the run.
     """
+    policy_payload = getattr(session.config, "_kernel_policy_bench", None)
     bench_session = getattr(session.config, "_benchmarksession", None)
-    if bench_session is None or not getattr(bench_session, "benchmarks", None):
-        return
     rows = []
-    for bench in bench_session.benchmarks:
+    for bench in getattr(bench_session, "benchmarks", None) or []:
         if "bench_kernels" not in getattr(bench, "fullname", ""):
             continue  # table-style runners write their own BENCH_*.json
         stats = getattr(bench, "stats", None)
@@ -114,6 +113,10 @@ def pytest_sessionfinish(session, exitstatus):
             )
         except (AttributeError, TypeError):
             continue
-    if rows:
+    if rows or policy_payload:
         RESULTS_DIR.mkdir(exist_ok=True)
-        write_bench_json(RESULTS_DIR / "BENCH_kernels.json", "kernels", rows)
+        write_bench_json(
+            RESULTS_DIR / "BENCH_kernels.json",
+            "kernels",
+            {"microbench": rows, "dtype_policy": policy_payload},
+        )

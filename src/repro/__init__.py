@@ -11,6 +11,10 @@ GCN ("GS-GCN", the GraphSAINT precursor) and everything it depends on:
   cost models (Eq. 2, Theorem 1), and extension samplers;
 * :mod:`repro.nn` — GCN layers with self/neighbor weights, losses, Adam,
   F1 metrics, gradient checking;
+* :mod:`repro.kernels` — the unified compute-kernel layer every GEMM and
+  SpMM dispatches through: backend registry, dtype policies
+  (float64 reference / float32 fast), workspace buffer arena, and
+  centralized flop/time accounting;
 * :mod:`repro.propagation` — spmm kernels, Algorithm 6 feature-partitioned
   propagation, the communication model and Theorem 2;
 * :mod:`repro.parallel` — the simulated 40-core Xeon used to regenerate
@@ -34,7 +38,7 @@ Quickstart::
     print(result.final_val_f1)
 """
 
-from . import obs
+from . import kernels, obs
 from .graphs import CSRGraph, Dataset, make_dataset
 from .nn import GCN, Adam, f1_micro
 from .parallel import MachineSpec, xeon_40core
@@ -74,6 +78,7 @@ __all__ = [
     "EmbeddingServer",
     "ServerConfig",
     "zipf_trace",
+    "kernels",
     "obs",
     "__version__",
 ]

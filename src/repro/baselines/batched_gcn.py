@@ -22,6 +22,7 @@ from ..graphs.datasets import Dataset
 from ..nn.loss import make_loss
 from ..nn.network import GCN
 from ..nn.optim import Adam
+from ..kernels.backends import get_backend
 from ..propagation.spmm import MeanAggregator
 from ..train.evaluation import Evaluator
 from ..train.trainer import EpochRecord, TrainResult
@@ -40,10 +41,14 @@ class BatchedGCNConfig:
     eval_every: int = 1
     concat: bool = True
     seed: int = 0
+    # Kernel-registry SpMM backend for the full-graph propagation
+    # ("scipy" or "numpy"); the dispatch seam of repro.kernels.backends.
+    spmm_backend: str = "scipy"
 
     def __post_init__(self) -> None:
         if self.batch_size < 1 or self.epochs < 1:
             raise ValueError("batch_size and epochs must be positive")
+        get_backend(self.spmm_backend)
 
 
 class BatchedGCNTrainer:
@@ -58,7 +63,9 @@ class BatchedGCNTrainer:
         )
         self.train_features = dataset.features[self.train_vmap]
         self.train_labels = dataset.labels[self.train_vmap]
-        self.aggregator = MeanAggregator(self.train_graph)
+        self.aggregator = MeanAggregator(
+            self.train_graph, backend=config.spmm_backend
+        )
         self.model = GCN(
             dataset.features.shape[1],
             list(config.hidden_dims),

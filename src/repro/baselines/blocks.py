@@ -25,6 +25,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..kernels import ops as kernel_ops
+
 __all__ = ["SampledBlock", "positions_in"]
 
 
@@ -75,37 +77,49 @@ class SampledBlock:
     def degrees(self) -> np.ndarray:
         return np.diff(self.indptr)
 
-    def _normalizers(self) -> np.ndarray:
+    def _normalizers(self, dtype=np.float64) -> np.ndarray:
+        # Computed in float64 (exact reciprocals of small integers where
+        # representable) and cast, so the float32 path sees the rounded
+        # reference values.
         if not self.mean_normalize:
-            return np.ones(self.num_dst, dtype=np.float64)
+            return np.ones(self.num_dst, dtype=dtype)
         deg = self.degrees.astype(np.float64)
-        return np.divide(1.0, deg, out=np.zeros_like(deg), where=deg > 0)
+        inv = np.divide(1.0, deg, out=np.zeros_like(deg), where=deg > 0)
+        return inv.astype(dtype, copy=False)
 
     def aggregate(self, h_src: np.ndarray) -> np.ndarray:
-        """Weighted-mean neighbor aggregation: (num_dst, f) output."""
+        """Weighted-mean neighbor aggregation: (num_dst, f) output.
+
+        The gather + segment-sum is the bipartite SpMM of the
+        layer-sampling baselines; it dispatches through
+        :func:`repro.kernels.ops.gather_segment_sum` (metered there).
+        """
         if h_src.shape[0] != self.num_src:
             raise ValueError("h_src rows must equal num_src")
-        gathered = h_src[self.neighbor_pos]
-        if self.edge_weight is not None:
-            gathered = gathered * self.edge_weight[:, None]
-        out = np.zeros((self.num_dst, h_src.shape[1]), dtype=h_src.dtype)
-        nonempty = np.flatnonzero(self.degrees > 0)
-        if nonempty.size:
-            out[nonempty] = np.add.reduceat(gathered, self.indptr[nonempty], axis=0)
-        out *= self._normalizers()[:, None]
+        out = kernel_ops.gather_segment_sum(
+            h_src,
+            self.neighbor_pos,
+            self.indptr,
+            self.num_dst,
+            weights=self.edge_weight,
+        )
+        out *= self._normalizers(out.dtype)[:, None]
         return out
 
     def aggregate_backward(self, grad_dst: np.ndarray) -> np.ndarray:
         """Adjoint of :meth:`aggregate`: scatter grads back to src rows."""
         if grad_dst.shape[0] != self.num_dst:
             raise ValueError("grad rows must equal num_dst")
-        scaled = grad_dst * self._normalizers()[:, None]
+        scaled = grad_dst * self._normalizers(grad_dst.dtype)[:, None]
         per_edge = np.repeat(scaled, self.degrees, axis=0)
         if self.edge_weight is not None:
-            per_edge = per_edge * self.edge_weight[:, None]
-        out = np.zeros((self.num_src, grad_dst.shape[1]), dtype=grad_dst.dtype)
-        np.add.at(out, self.neighbor_pos, per_edge)
-        return out
+            w = self.edge_weight
+            if w.dtype != per_edge.dtype:
+                w = w.astype(per_edge.dtype)
+            per_edge = per_edge * w[:, None]
+        return kernel_ops.scatter_add_rows(
+            per_edge, self.neighbor_pos, self.num_src
+        )
 
     def gather_self(self, h_src: np.ndarray) -> np.ndarray:
         """Destination nodes' own previous-layer features (zeros if absent)."""

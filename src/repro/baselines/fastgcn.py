@@ -121,15 +121,17 @@ class FastGCNModel:
         num_classes: int,
         *,
         seed: int = 0,
+        dtype=np.float64,
     ) -> None:
         rng = np.random.default_rng(seed)
+        self.dtype = np.dtype(dtype)
         self.layers: list[ConvOnlyLayer] = []
         dim = in_dim
         for h in hidden_dims:
-            layer = ConvOnlyLayer(dim, h, rng=rng)
+            layer = ConvOnlyLayer(dim, h, rng=rng, dtype=self.dtype)
             self.layers.append(layer)
             dim = h
-        self.head = DenseLayer(dim, num_classes, rng=rng)
+        self.head = DenseLayer(dim, num_classes, rng=rng, dtype=self.dtype)
 
     def parameter_groups(self) -> list[ParamGroup]:
         """(params, grads) dict pairs for every layer plus the head."""

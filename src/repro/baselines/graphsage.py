@@ -111,15 +111,19 @@ class GraphSAGEModel:
         *,
         concat: bool = True,
         seed: int = 0,
+        dtype=np.float64,
     ) -> None:
         rng = np.random.default_rng(seed)
+        self.dtype = np.dtype(dtype)
         self.layers: list[BipartiteGCNLayer] = []
         dim = in_dim
         for h in hidden_dims:
-            layer = BipartiteGCNLayer(dim, h, concat=concat, rng=rng)
+            layer = BipartiteGCNLayer(
+                dim, h, concat=concat, rng=rng, dtype=self.dtype
+            )
             self.layers.append(layer)
             dim = layer.output_dim
-        self.head = DenseLayer(dim, num_classes, rng=rng)
+        self.head = DenseLayer(dim, num_classes, rng=rng, dtype=self.dtype)
         self.in_dim = in_dim
         self.num_classes = num_classes
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels import ops as kernel_ops
 from ..nn.activations import relu, relu_grad
 from ..nn.init import xavier_uniform
 from .blocks import SampledBlock
@@ -30,6 +31,7 @@ class BipartiteGCNLayer:
         activation: str = "relu",
         concat: bool = True,
         rng: np.random.Generator,
+        dtype=np.float64,
     ) -> None:
         if activation not in ("relu", "identity"):
             raise ValueError(f"unsupported activation {activation!r}")
@@ -37,11 +39,12 @@ class BipartiteGCNLayer:
         self.out_dim = out_dim
         self.activation = activation
         self.concat = concat
+        self.dtype = np.dtype(dtype)
         self.params: dict[str, np.ndarray] = {
-            "W_self": xavier_uniform(in_dim, out_dim, rng=rng),
-            "W_neigh": xavier_uniform(in_dim, out_dim, rng=rng),
-            "b_self": np.zeros(out_dim),
-            "b_neigh": np.zeros(out_dim),
+            "W_self": xavier_uniform(in_dim, out_dim, rng=rng, dtype=self.dtype),
+            "W_neigh": xavier_uniform(in_dim, out_dim, rng=rng, dtype=self.dtype),
+            "b_self": np.zeros(out_dim, dtype=self.dtype),
+            "b_neigh": np.zeros(out_dim, dtype=self.dtype),
         }
         self.grads: dict[str, np.ndarray] = {
             k: np.zeros_like(v) for k, v in self.params.items()
@@ -58,8 +61,8 @@ class BipartiteGCNLayer:
         """Propagate source-support features to the destination support."""
         h_agg = block.aggregate(h_src)
         h_self = block.gather_self(h_src)
-        z_neigh = h_agg @ self.params["W_neigh"] + self.params["b_neigh"]
-        z_self = h_self @ self.params["W_self"] + self.params["b_self"]
+        z_neigh = kernel_ops.gemm(h_agg, self.params["W_neigh"]) + self.params["b_neigh"]
+        z_self = kernel_ops.gemm(h_self, self.params["W_self"]) + self.params["b_self"]
         z = (
             np.concatenate([z_neigh, z_self], axis=1)
             if self.concat
@@ -87,12 +90,16 @@ class BipartiteGCNLayer:
             dz_neigh, dz_self = dz[:, : self.out_dim], dz[:, self.out_dim :]
         else:
             dz_neigh = dz_self = dz
-        self.grads["W_neigh"] += h_agg.T @ dz_neigh
-        self.grads["W_self"] += h_self.T @ dz_self
+        kernel_ops.gemm_accumulate(self.grads["W_neigh"], h_agg.T, dz_neigh)
+        kernel_ops.gemm_accumulate(self.grads["W_self"], h_self.T, dz_self)
         self.grads["b_neigh"] += dz_neigh.sum(axis=0)
         self.grads["b_self"] += dz_self.sum(axis=0)
-        d_src = block.aggregate_backward(dz_neigh @ self.params["W_neigh"].T)
-        d_src += block.gather_self_backward(dz_self @ self.params["W_self"].T)
+        d_src = block.aggregate_backward(
+            kernel_ops.gemm(dz_neigh, self.params["W_neigh"].T)
+        )
+        d_src += block.gather_self_backward(
+            kernel_ops.gemm(dz_self, self.params["W_self"].T)
+        )
         return d_src
 
     def zero_grad(self) -> None:
@@ -111,15 +118,17 @@ class ConvOnlyLayer:
         *,
         activation: str = "relu",
         rng: np.random.Generator,
+        dtype=np.float64,
     ) -> None:
         if activation not in ("relu", "identity"):
             raise ValueError(f"unsupported activation {activation!r}")
         self.in_dim = in_dim
         self.out_dim = out_dim
         self.activation = activation
+        self.dtype = np.dtype(dtype)
         self.params: dict[str, np.ndarray] = {
-            "W": xavier_uniform(in_dim, out_dim, rng=rng),
-            "b": np.zeros(out_dim),
+            "W": xavier_uniform(in_dim, out_dim, rng=rng, dtype=self.dtype),
+            "b": np.zeros(out_dim, dtype=self.dtype),
         }
         self.grads: dict[str, np.ndarray] = {
             k: np.zeros_like(v) for k, v in self.params.items()
@@ -135,7 +144,7 @@ class ConvOnlyLayer:
     ) -> np.ndarray:
         """Importance-weighted convolution to the destination support."""
         h_agg = block.aggregate(h_src)
-        z = h_agg @ self.params["W"] + self.params["b"]
+        z = kernel_ops.gemm(h_agg, self.params["W"]) + self.params["b"]
         out = relu(z) if self.activation == "relu" else z
         self._cache = {"h_agg": h_agg, "z": z, "block": block} if train else None
         return out
@@ -148,9 +157,11 @@ class ConvOnlyLayer:
         z: np.ndarray = self._cache["z"]  # type: ignore[assignment]
         block: SampledBlock = self._cache["block"]  # type: ignore[assignment]
         dz = relu_grad(z, grad_out) if self.activation == "relu" else grad_out
-        self.grads["W"] += h_agg.T @ dz
+        kernel_ops.gemm_accumulate(self.grads["W"], h_agg.T, dz)
         self.grads["b"] += dz.sum(axis=0)
-        return block.aggregate_backward(dz @ self.params["W"].T)
+        return block.aggregate_backward(
+            kernel_ops.gemm(dz, self.params["W"].T)
+        )
 
     def zero_grad(self) -> None:
         """Reset accumulated parameter gradients to zero."""

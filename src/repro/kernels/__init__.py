@@ -1,0 +1,81 @@
+"""repro.kernels — the unified compute-kernel layer.
+
+Every GEMM and SpMM in the repo dispatches through this package
+(Section V of the paper treats these two kernels as *the* performance
+story; GraphVite/GOSH make the same architectural bet). The pieces:
+
+* :mod:`repro.kernels.ops` — ``gemm`` / ``gemm_accumulate`` / ``spmm`` /
+  ``spmm_adjoint`` / block gather-scatter / elementwise helpers, all with
+  optional ``out=`` buffers, all metered;
+* :mod:`repro.kernels.backends` — the named backend registry (``"scipy"``
+  CSR vs pure-``"numpy"`` reduceat SpMM) plus the weak-ref-memoized
+  scipy adjacency cache;
+* :mod:`repro.kernels.policy` — :data:`~repro.kernels.policy.REFERENCE`
+  (float64, no workspace, bit-identical to the seed) and
+  :data:`~repro.kernels.policy.FAST` (float32 + workspace) dtype
+  policies;
+* :mod:`repro.kernels.workspace` — the keyed buffer arena trainers share
+  across iterations;
+* :mod:`repro.kernels.accounting` — centralized flop/time counters that
+  feed ``repro.obs`` metrics and the simulated-time cost model from one
+  place.
+
+See the "Compute kernels" section of ``docs/architecture.md``.
+"""
+
+from . import accounting, backends, ops, policy, workspace
+from .accounting import KernelCounters, capture
+from .backends import (
+    KernelBackend,
+    adjacency_matrix,
+    available_backends,
+    default_backend,
+    get_backend,
+    register_backend,
+    set_default_backend,
+)
+from .ops import (
+    add_bias,
+    gather_segment_sum,
+    gemm,
+    gemm_accumulate,
+    relu,
+    relu_backward,
+    scatter_add_rows,
+    spmm,
+    spmm_adjoint,
+)
+from .policy import FAST, REFERENCE, DtypePolicy, available_policies, resolve_policy
+from .workspace import Workspace
+
+__all__ = [
+    "accounting",
+    "backends",
+    "ops",
+    "policy",
+    "workspace",
+    "KernelCounters",
+    "capture",
+    "KernelBackend",
+    "adjacency_matrix",
+    "available_backends",
+    "default_backend",
+    "get_backend",
+    "register_backend",
+    "set_default_backend",
+    "gemm",
+    "gemm_accumulate",
+    "spmm",
+    "spmm_adjoint",
+    "gather_segment_sum",
+    "scatter_add_rows",
+    "relu",
+    "relu_backward",
+    "add_bias",
+    "DtypePolicy",
+    "REFERENCE",
+    "FAST",
+    "resolve_policy",
+    "available_policies",
+    "Workspace",
+]

@@ -1,0 +1,152 @@
+"""Centralized flop/byte/time accounting for the kernel layer.
+
+Every GEMM and SpMM dispatched through :mod:`repro.kernels.ops` reports
+here, which makes this module the *single source of truth* for compute
+cost in the repo: the ``repro.obs`` counters (``gemm.flops``,
+``spmm.flops``, ...), the trainer's simulated-time cost model (via
+:func:`capture`) and the kernel benchmarks all read the same numbers.
+Before this layer existed the spmm flop count lived in
+``propagation/spmm.py`` and the gemm count was re-derived analytically in
+``train/trainer.py``; both now come from the one place that actually ran
+the kernels.
+
+Conventions (shared with :mod:`repro.analysis.complexity`):
+
+* GEMM ``(m, k) @ (k, n)`` costs ``2 * m * k * n`` flops
+  (multiply + add per MAC);
+* SpMM over ``nnz`` stored edges and ``f`` feature columns costs
+  ``2 * nnz * f`` flops (the gather-accumulate counted as one
+  multiply-add per edge-feature, matching the paper's Section V count).
+
+Accounting is **always on** for the process-wide :data:`TOTALS` (a few
+float adds and two ``perf_counter`` reads per kernel call — negligible
+next to any real matmul); the :mod:`repro.obs` metrics are only written
+while obs instrumentation is enabled, preserving its kill-switch
+guarantee.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from ..obs import is_enabled as _obs_enabled
+from ..obs import metrics as _obs_metrics
+
+__all__ = [
+    "KernelCounters",
+    "TOTALS",
+    "capture",
+    "record_gemm",
+    "record_spmm",
+    "reset_totals",
+    "gemm_flop_count",
+    "spmm_flop_count",
+]
+
+
+def gemm_flop_count(m: int, k: int, n: int) -> float:
+    """Flops of one ``(m, k) @ (k, n)`` dense multiply."""
+    return 2.0 * m * k * n
+
+
+def spmm_flop_count(nnz: int, cols: int) -> float:
+    """Flops of one sparse row-gather-sum over ``nnz`` edges, ``cols`` wide."""
+    return 2.0 * nnz * cols
+
+
+class KernelCounters:
+    """One bucket of kernel-cost counters (flops, calls, wall seconds)."""
+
+    __slots__ = (
+        "gemm_calls",
+        "gemm_flops",
+        "gemm_seconds",
+        "spmm_calls",
+        "spmm_flops",
+        "spmm_seconds",
+    )
+
+    def __init__(self) -> None:
+        self.gemm_calls = 0
+        self.gemm_flops = 0.0
+        self.gemm_seconds = 0.0
+        self.spmm_calls = 0
+        self.spmm_flops = 0.0
+        self.spmm_seconds = 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        """JSON-ready copy of every counter."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.__init__()
+
+    @property
+    def total_flops(self) -> float:
+        return self.gemm_flops + self.spmm_flops
+
+
+#: Process-wide totals, always accumulating (cheap), never auto-reset.
+TOTALS = KernelCounters()
+
+# Active capture scopes; every record fans out to all of them plus TOTALS.
+_CAPTURES: list[KernelCounters] = []
+
+_perf_counter = time.perf_counter
+
+
+def record_gemm(m: int, k: int, n: int, seconds: float) -> None:
+    """Account one dense multiply of shape ``(m, k) @ (k, n)``."""
+    flops = 2.0 * m * k * n
+    TOTALS.gemm_calls += 1
+    TOTALS.gemm_flops += flops
+    TOTALS.gemm_seconds += seconds
+    for cap in _CAPTURES:
+        cap.gemm_calls += 1
+        cap.gemm_flops += flops
+        cap.gemm_seconds += seconds
+    if _obs_enabled():
+        _obs_metrics.inc("gemm.ops")
+        _obs_metrics.inc("gemm.flops", flops)
+        _obs_metrics.inc("gemm.seconds", seconds)
+
+
+def record_spmm(nnz: int, cols: int, seconds: float) -> None:
+    """Account one sparse aggregation over ``nnz`` edges, ``cols`` wide."""
+    flops = 2.0 * nnz * cols
+    TOTALS.spmm_calls += 1
+    TOTALS.spmm_flops += flops
+    TOTALS.spmm_seconds += seconds
+    for cap in _CAPTURES:
+        cap.spmm_calls += 1
+        cap.spmm_flops += flops
+        cap.spmm_seconds += seconds
+    if _obs_enabled():
+        _obs_metrics.inc("spmm.ops")
+        _obs_metrics.inc("spmm.flops", flops)
+        _obs_metrics.inc("spmm.seconds", seconds)
+
+
+@contextmanager
+def capture() -> Iterator[KernelCounters]:
+    """Scope that accumulates the kernel costs of everything inside it.
+
+    Scopes nest: an inner capture does not steal counts from an outer
+    one — every active scope sees every kernel call. The trainer wraps
+    each iteration's forward+backward in a capture and prices the metered
+    ``gemm_flops`` through the Amdahl cost model.
+    """
+    counters = KernelCounters()
+    _CAPTURES.append(counters)
+    try:
+        yield counters
+    finally:
+        _CAPTURES.remove(counters)
+
+
+def reset_totals() -> None:
+    """Zero the process-wide :data:`TOTALS` (bench runners call this)."""
+    TOTALS.reset()

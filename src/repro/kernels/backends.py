@@ -1,0 +1,213 @@
+"""Kernel backends and the registry that selects between them.
+
+A backend is a named pair of implementations — one dense ``gemm``, one
+sparse ``spmm`` — registered under a string key. The dispatch functions
+in :mod:`repro.kernels.ops` look the key up here, so swapping the
+implementation under every layer/trainer/serving call site is a one-line
+``backend=`` change (or a :func:`set_default_backend` call), never a
+model-code edit. Two backends ship:
+
+* ``"scipy"`` — numpy BLAS gemm + scipy CSR spmm (the fast path);
+* ``"numpy"`` — numpy BLAS gemm + pure-numpy ``add.reduceat``
+  segment-sum spmm (dependency-free oracle, also what the partitioned
+  propagation driver models).
+
+The scipy backend memoizes the ``scipy.sparse.csr_matrix`` view of each
+:class:`~repro.graphs.csr.CSRGraph` in a weak, id-keyed cache (one entry
+per dtype), so repeated SpMMs over the same graph — every training
+iteration, every propagation pass — reuse one operator instead of
+rebuilding indptr/indices/data wrappers per call.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+if TYPE_CHECKING:  # import only for annotations: keeps repro.kernels
+    # importable before repro.graphs finishes initializing (no cycle).
+    from ..graphs.csr import CSRGraph
+
+__all__ = [
+    "KernelBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "default_backend",
+    "set_default_backend",
+    "adjacency_matrix",
+    "segment_sum",
+]
+
+
+# ---------------------------------------------------------------------------
+# Memoized scipy adjacency
+
+
+# id(graph) -> (weakref to graph, {dtype: csr_matrix}). CSRGraph holds
+# ndarrays and is therefore unhashable, so a WeakKeyDictionary cannot be
+# used; instead entries are keyed by object id and evicted by a weakref
+# callback when the graph is collected (id reuse is also guarded by an
+# identity check on lookup).
+_ADJACENCY_CACHE: dict[int, tuple["weakref.ref[CSRGraph]", dict] ] = {}
+
+
+def adjacency_matrix(graph: CSRGraph, dtype=np.float64) -> sp.csr_matrix:
+    """The unweighted scipy CSR adjacency of ``graph``, memoized per graph.
+
+    The cache is weak in the graph: dropping the last reference to a
+    ``CSRGraph`` frees its cached operator too. One entry is kept per
+    requested dtype (float32 serving and float64 reference can coexist).
+    """
+    dtype = np.dtype(dtype)
+    key = id(graph)
+    entry = _ADJACENCY_CACHE.get(key)
+    if entry is None or entry[0]() is not graph:
+
+        def _evict(_ref: object, _key: int = key) -> None:
+            _ADJACENCY_CACHE.pop(_key, None)
+
+        entry = (weakref.ref(graph, _evict), {})
+        _ADJACENCY_CACHE[key] = entry
+    per_dtype = entry[1]
+    mat = per_dtype.get(dtype)
+    if mat is None:
+        data = np.ones(graph.num_edges_directed, dtype=dtype)
+        n = graph.num_vertices
+        mat = sp.csr_matrix((data, graph.indices, graph.indptr), shape=(n, n))
+        per_dtype[dtype] = mat
+    return mat
+
+
+# ---------------------------------------------------------------------------
+# Raw kernel implementations
+
+
+def _gemm_numpy(
+    a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray]
+) -> np.ndarray:
+    if out is None:
+        return a @ b
+    return np.matmul(a, b, out=out)
+
+
+def _spmm_scipy(
+    graph: CSRGraph, x: np.ndarray, out: Optional[np.ndarray]
+) -> np.ndarray:
+    result = adjacency_matrix(graph, x.dtype if x.dtype.kind == "f" else np.float64) @ x
+    if out is None:
+        return result
+    np.copyto(out, result)
+    return out
+
+
+def segment_sum(
+    values: np.ndarray,
+    indptr: np.ndarray,
+    num_segments: int,
+    *,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Sum contiguous row-segments of ``values`` delimited by ``indptr``.
+
+    Segment ``i`` is ``values[indptr[i]:indptr[i+1]]``; empty segments
+    yield zero rows (``np.add.reduceat``'s empty-segment pitfall — it
+    would return the *next* element — is handled by only reducing at the
+    starts of non-empty segments).
+    """
+    shape = (num_segments,) + values.shape[1:]
+    if out is None:
+        out = np.zeros(shape, dtype=values.dtype)
+    else:
+        out[...] = 0
+    if values.shape[0] == 0:
+        return out
+    lengths = np.diff(indptr)
+    nonempty = np.flatnonzero(lengths > 0)
+    out[nonempty] = np.add.reduceat(values, indptr[nonempty], axis=0)
+    return out
+
+
+def _spmm_numpy(
+    graph: CSRGraph, x: np.ndarray, out: Optional[np.ndarray]
+) -> np.ndarray:
+    if graph.num_edges_directed == 0:
+        shape = (graph.num_vertices, x.shape[1])
+        if out is None:
+            return np.zeros(shape, dtype=x.dtype)
+        out[...] = 0
+        return out
+    gathered = x[graph.indices]
+    return segment_sum(gathered, graph.indptr, graph.num_vertices, out=out)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """A named (gemm, spmm) implementation pair.
+
+    ``gemm(a, b, out)`` multiplies two 2-D arrays; ``spmm(graph, x, out)``
+    computes the unweighted neighbor-sum ``A @ x`` over a CSR graph. Both
+    must write into ``out`` when it is given and return the result array
+    either way. Implementations are *raw*: dispatch, validation, timing
+    and flop accounting live in :mod:`repro.kernels.ops`.
+    """
+
+    name: str
+    gemm: Callable[[np.ndarray, np.ndarray, Optional[np.ndarray]], np.ndarray]
+    spmm: Callable[[CSRGraph, np.ndarray, Optional[np.ndarray]], np.ndarray]
+
+
+_REGISTRY: dict[str, KernelBackend] = {}
+_DEFAULT_NAME = "scipy"
+
+
+def register_backend(backend: KernelBackend, *, overwrite: bool = False) -> None:
+    """Add ``backend`` to the registry under ``backend.name``."""
+    if backend.name in _REGISTRY and not overwrite:
+        raise ValueError(f"backend {backend.name!r} already registered")
+    _REGISTRY[backend.name] = backend
+
+
+def get_backend(name: Optional[str] = None) -> KernelBackend:
+    """Look up a backend by name (``None`` → the current default)."""
+    key = _DEFAULT_NAME if name is None else name
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel backend {key!r}; available: {available_backends()}"
+        ) from None
+
+
+def available_backends() -> list[str]:
+    """Sorted names of every registered backend."""
+    return sorted(_REGISTRY)
+
+
+def default_backend() -> str:
+    """Name of the backend used when call sites pass ``backend=None``."""
+    return _DEFAULT_NAME
+
+
+def set_default_backend(name: str) -> str:
+    """Change the process-wide default backend; returns the previous name."""
+    global _DEFAULT_NAME
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; available: {available_backends()}"
+        )
+    previous = _DEFAULT_NAME
+    _DEFAULT_NAME = name
+    return previous
+
+
+register_backend(KernelBackend(name="scipy", gemm=_gemm_numpy, spmm=_spmm_scipy))
+register_backend(KernelBackend(name="numpy", gemm=_gemm_numpy, spmm=_spmm_numpy))

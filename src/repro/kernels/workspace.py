@@ -1,0 +1,97 @@
+"""Workspace arena: named, reusable kernel buffers.
+
+The seed implementation allocated every activation, pre-activation and
+gradient array fresh each training iteration. Shapes are identical from
+one iteration to the next (the sampler re-draws vertices but the trainer
+uses fixed support sizes per layer), so those allocations — and the page
+faults behind them — are pure overhead. A :class:`Workspace` hands out
+buffers by key::
+
+    ws = Workspace()
+    z = ws.buffer(("layer0", "z"), (n, d), np.float32)
+
+The first request allocates; later requests with the same key and a
+matching shape/dtype return the *same* array (a hit). A shape or dtype
+change reallocates in place of the old buffer. Keys are hierarchical
+tuples (owner prefix first) so a trainer can share one arena across all
+its layers and the propagation driver without collisions.
+
+Buffer contents are **undefined** on hand-out — callers must fully
+overwrite them (every kernel in :mod:`repro.kernels.ops` does when given
+``out=``). The arena tracks hits/misses/bytes so benchmarks can report
+per-iteration allocation counts (see ``benchmarks/bench_kernels.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Tuple
+
+import numpy as np
+
+__all__ = ["Workspace"]
+
+Key = Tuple[Hashable, ...]
+
+
+class Workspace:
+    """Keyed arena of reusable ndarrays with hit/miss statistics.
+
+    Each key owns a flat backing array; :meth:`buffer` returns a reshaped
+    view of its first ``prod(shape)`` elements. Matching on *capacity*
+    rather than exact shape matters for graph-sampling training, where
+    the sampled subgraph's vertex count jitters around the budget from
+    iteration to iteration — an exact-shape arena would reallocate on
+    nearly every iteration, this one only when a request outgrows the
+    backing store.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[Key, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+        self.bytes_allocated = 0
+
+    def buffer(self, key: Key, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """A ``shape``/``dtype`` view of the backing store under ``key``
+        (grown when too small)."""
+        dtype = np.dtype(dtype)
+        needed = int(np.prod(shape)) if shape else 1
+        raw = self._buffers.get(key)
+        if raw is not None and raw.dtype == dtype and raw.size >= needed:
+            self.hits += 1
+        else:
+            raw = np.empty(needed, dtype=dtype)
+            self._buffers[key] = raw
+            self.misses += 1
+            self.bytes_allocated += raw.nbytes
+        return raw[:needed].reshape(shape)
+
+    @property
+    def num_buffers(self) -> int:
+        return len(self._buffers)
+
+    @property
+    def bytes_held(self) -> int:
+        """Bytes of all currently-live buffers."""
+        return sum(b.nbytes for b in self._buffers.values())
+
+    def stats(self) -> dict[str, int]:
+        """JSON-ready hit/miss/size statistics."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "num_buffers": self.num_buffers,
+            "bytes_held": self.bytes_held,
+            "bytes_allocated": self.bytes_allocated,
+        }
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters, keeping the buffers."""
+        self.hits = 0
+        self.misses = 0
+        self.bytes_allocated = 0
+
+    def clear(self) -> None:
+        """Drop every buffer (and its statistics)."""
+        self._buffers.clear()
+        self.reset_stats()

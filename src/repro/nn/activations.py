@@ -28,8 +28,13 @@ def leaky_relu_grad(x: np.ndarray, grad_out: np.ndarray, alpha: float = 0.01) ->
 
 
 def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Stable logistic: never exponentiates a positive argument."""
-    out = np.empty_like(x, dtype=np.float64)
+    """Stable logistic: never exponentiates a positive argument.
+
+    Dtype-preserving for floating inputs (float32 stays float32);
+    integer/bool inputs compute in float64.
+    """
+    dtype = x.dtype if x.dtype.kind == "f" else np.dtype(np.float64)
+    out = np.empty_like(x, dtype=dtype)
     pos = x >= 0
     out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
     ex = np.exp(x[~pos])

@@ -8,23 +8,31 @@ __all__ = ["xavier_uniform", "xavier_normal", "zeros"]
 
 
 def xavier_uniform(
-    fan_in: int, fan_out: int, *, rng: np.random.Generator
+    fan_in: int, fan_out: int, *, rng: np.random.Generator, dtype=np.float64
 ) -> np.ndarray:
-    """Glorot uniform: U(-a, a) with ``a = sqrt(6 / (fan_in + fan_out))``."""
+    """Glorot uniform: U(-a, a) with ``a = sqrt(6 / (fan_in + fan_out))``.
+
+    Always drawn in float64 (the generator stream is dtype-independent,
+    so float32 weights are the rounded float64 reference weights), then
+    cast to ``dtype``.
+    """
     if fan_in <= 0 or fan_out <= 0:
         raise ValueError("fan_in and fan_out must be positive")
     a = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-a, a, size=(fan_in, fan_out))
+    w = rng.uniform(-a, a, size=(fan_in, fan_out))
+    return w.astype(dtype, copy=False)
 
 
 def xavier_normal(
-    fan_in: int, fan_out: int, *, rng: np.random.Generator
+    fan_in: int, fan_out: int, *, rng: np.random.Generator, dtype=np.float64
 ) -> np.ndarray:
-    """Glorot normal: N(0, 2 / (fan_in + fan_out))."""
+    """Glorot normal: N(0, 2 / (fan_in + fan_out)); drawn in float64 then
+    cast to ``dtype`` (same stream for every dtype)."""
     if fan_in <= 0 or fan_out <= 0:
         raise ValueError("fan_in and fan_out must be positive")
     std = np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.standard_normal((fan_in, fan_out)) * std
+    w = rng.standard_normal((fan_in, fan_out)) * std
+    return w.astype(dtype, copy=False)
 
 
 def zeros(*shape: int) -> np.ndarray:

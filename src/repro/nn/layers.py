@@ -13,6 +13,18 @@ framework-free: each caches what its backward pass needs and returns input
 gradients explicitly, so the training loop is a plain loop over layers. All
 parameters and gradients live in per-layer dicts keyed by name, which is
 what the optimizers consume.
+
+Every matrix multiply dispatches through :mod:`repro.kernels`. Layers run
+in one of two regimes, chosen by the constructor arguments:
+
+* **reference** (``workspace=None``, the default): each product allocates
+  its result, exactly the seed-era computation sequence — float64 results
+  are bit-identical to pre-kernel-layer code;
+* **workspace** (``workspace=`` a :class:`repro.kernels.Workspace`):
+  pre-activations, activations and gradient products land in named arena
+  buffers that persist across iterations, so steady-state training stops
+  allocating on the hot path. Buffer keys are prefixed with ``ws_prefix``
+  so one arena serves a whole network.
 """
 
 from __future__ import annotations
@@ -21,6 +33,8 @@ from typing import Protocol
 
 import numpy as np
 
+from ..kernels import ops as kernel_ops
+from ..kernels.workspace import Workspace
 from .activations import relu, relu_grad
 from .init import xavier_uniform
 
@@ -52,6 +66,13 @@ class GCNLayer:
         ``"relu"`` or ``"identity"``.
     concat:
         Concatenate the two branches (GraphSAGE-style) instead of summing.
+    dtype:
+        Parameter/activation dtype. Weights are always drawn in float64
+        from ``rng`` (so the random stream and float64 values match the
+        reference path) and then cast.
+    workspace / ws_prefix:
+        Arena for buffer reuse; ``None`` keeps the allocate-per-call
+        reference behavior.
     """
 
     def __init__(
@@ -64,6 +85,9 @@ class GCNLayer:
         bias: bool = True,
         normalize: bool = False,
         rng: np.random.Generator,
+        dtype=np.float64,
+        workspace: Workspace | None = None,
+        ws_prefix: str = "gcn",
     ) -> None:
         if activation not in ("relu", "identity"):
             raise ValueError(f"unsupported activation {activation!r}")
@@ -75,13 +99,16 @@ class GCNLayer:
         # GraphSAGE-style L2 row normalization of the layer output
         # (reference [2] normalizes embeddings to the unit hypersphere).
         self.normalize = normalize
+        self.dtype = np.dtype(dtype)
+        self.workspace = workspace
+        self.ws_prefix = ws_prefix
         self.params: dict[str, np.ndarray] = {
-            "W_self": xavier_uniform(in_dim, out_dim, rng=rng),
-            "W_neigh": xavier_uniform(in_dim, out_dim, rng=rng),
+            "W_self": xavier_uniform(in_dim, out_dim, rng=rng, dtype=self.dtype),
+            "W_neigh": xavier_uniform(in_dim, out_dim, rng=rng, dtype=self.dtype),
         }
         if bias:
-            self.params["b_self"] = np.zeros(out_dim)
-            self.params["b_neigh"] = np.zeros(out_dim)
+            self.params["b_self"] = np.zeros(out_dim, dtype=self.dtype)
+            self.params["b_neigh"] = np.zeros(out_dim, dtype=self.dtype)
         self.grads: dict[str, np.ndarray] = {
             k: np.zeros_like(v) for k, v in self.params.items()
         }
@@ -92,21 +119,54 @@ class GCNLayer:
     def output_dim(self) -> int:
         return 2 * self.out_dim if self.concat else self.out_dim
 
+    def _buf(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
+        assert self.workspace is not None
+        return self.workspace.buffer((self.ws_prefix, name), shape, self.dtype)
+
     def forward(
         self, features: np.ndarray, aggregator: Aggregator, *, train: bool = True
     ) -> np.ndarray:
         """Propagate features one layer; caches activations when training."""
         h_agg = aggregator.forward(features)
-        z_neigh = h_agg @ self.params["W_neigh"]
-        z_self = features @ self.params["W_self"]
-        if self.use_bias:
-            z_neigh = z_neigh + self.params["b_neigh"]
-            z_self = z_self + self.params["b_self"]
-        if self.concat:
-            z = np.concatenate([z_neigh, z_self], axis=1)
+        if self.workspace is None:
+            z_neigh = kernel_ops.gemm(h_agg, self.params["W_neigh"])
+            z_self = kernel_ops.gemm(features, self.params["W_self"])
+            if self.use_bias:
+                z_neigh = z_neigh + self.params["b_neigh"]
+                z_self = z_self + self.params["b_self"]
+            if self.concat:
+                z = np.concatenate([z_neigh, z_self], axis=1)
+            else:
+                z = z_neigh + z_self
+            act = relu(z) if self.activation == "relu" else z
         else:
-            z = z_neigh + z_self
-        act = relu(z) if self.activation == "relu" else z
+            n = features.shape[0]
+            z = self._buf("z", (n, self.output_dim))
+            if self.concat:
+                # Write both branches straight into their halves of z —
+                # the concat disappears.
+                z_neigh = z[:, : self.out_dim]
+                z_self = z[:, self.out_dim :]
+                kernel_ops.gemm(h_agg, self.params["W_neigh"], out=z_neigh)
+                kernel_ops.gemm(features, self.params["W_self"], out=z_self)
+                if self.use_bias:
+                    z_neigh += self.params["b_neigh"]
+                    z_self += self.params["b_self"]
+            else:
+                kernel_ops.gemm(h_agg, self.params["W_neigh"], out=z)
+                kernel_ops.gemm_accumulate(
+                    z,
+                    features,
+                    self.params["W_self"],
+                    scratch=self._buf("z_scratch", (n, self.out_dim)),
+                )
+                if self.use_bias:
+                    z += self.params["b_neigh"]
+                    z += self.params["b_self"]
+            if self.activation == "relu":
+                act = kernel_ops.relu(z, out=self._buf("act", z.shape))
+            else:
+                act = z
         if self.normalize:
             norms = np.linalg.norm(act, axis=1, keepdims=True)
             norms = np.maximum(norms, 1e-12)
@@ -142,7 +202,13 @@ class GCNLayer:
             y: np.ndarray = self._cache["out"]  # type: ignore[assignment]
             inner = np.sum(y * grad_out, axis=1, keepdims=True)
             grad_out = (grad_out - y * inner) / norms
-        dz = relu_grad(z, grad_out) if self.activation == "relu" else grad_out
+        ws = self.workspace
+        if ws is None:
+            dz = relu_grad(z, grad_out) if self.activation == "relu" else grad_out
+        elif self.activation == "relu":
+            dz = kernel_ops.relu_backward(z, grad_out, out=self._buf("dz", z.shape))
+        else:
+            dz = grad_out
         if self.concat:
             dz_neigh = dz[:, : self.out_dim]
             dz_self = dz[:, self.out_dim :]
@@ -150,14 +216,32 @@ class GCNLayer:
             dz_neigh = dz
             dz_self = dz
 
-        self.grads["W_neigh"] += h_agg.T @ dz_neigh
-        self.grads["W_self"] += features.T @ dz_self
+        dw_scratch = (
+            self._buf("dW_scratch", (self.in_dim, self.out_dim))
+            if ws is not None
+            else None
+        )
+        kernel_ops.gemm_accumulate(
+            self.grads["W_neigh"], h_agg.T, dz_neigh, scratch=dw_scratch
+        )
+        kernel_ops.gemm_accumulate(
+            self.grads["W_self"], features.T, dz_self, scratch=dw_scratch
+        )
         if self.use_bias:
             self.grads["b_neigh"] += dz_neigh.sum(axis=0)
             self.grads["b_self"] += dz_self.sum(axis=0)
 
-        d_h_agg = dz_neigh @ self.params["W_neigh"].T
-        d_features = dz_self @ self.params["W_self"].T
+        n = features.shape[0]
+        d_h_agg = kernel_ops.gemm(
+            dz_neigh,
+            self.params["W_neigh"].T,
+            out=self._buf("d_h_agg", (n, self.in_dim)) if ws is not None else None,
+        )
+        d_features = kernel_ops.gemm(
+            dz_self,
+            self.params["W_self"].T,
+            out=self._buf("d_features", (n, self.in_dim)) if ws is not None else None,
+        )
         d_features += aggregator.backward(d_h_agg)
         return d_features
 
@@ -177,15 +261,21 @@ class DenseLayer:
         *,
         activation: str = "identity",
         rng: np.random.Generator,
+        dtype=np.float64,
+        workspace: Workspace | None = None,
+        ws_prefix: str = "dense",
     ) -> None:
         if activation not in ("relu", "identity"):
             raise ValueError(f"unsupported activation {activation!r}")
         self.in_dim = in_dim
         self.out_dim = out_dim
         self.activation = activation
+        self.dtype = np.dtype(dtype)
+        self.workspace = workspace
+        self.ws_prefix = ws_prefix
         self.params: dict[str, np.ndarray] = {
-            "W": xavier_uniform(in_dim, out_dim, rng=rng),
-            "b": np.zeros(out_dim),
+            "W": xavier_uniform(in_dim, out_dim, rng=rng, dtype=self.dtype),
+            "b": np.zeros(out_dim, dtype=self.dtype),
         }
         self.grads: dict[str, np.ndarray] = {
             k: np.zeros_like(v) for k, v in self.params.items()
@@ -196,10 +286,24 @@ class DenseLayer:
     def output_dim(self) -> int:
         return self.out_dim
 
+    def _buf(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
+        assert self.workspace is not None
+        return self.workspace.buffer((self.ws_prefix, name), shape, self.dtype)
+
     def forward(self, x: np.ndarray, *, train: bool = True) -> np.ndarray:
         """Affine transform (+ optional ReLU); caches inputs when training."""
-        z = x @ self.params["W"] + self.params["b"]
-        out = relu(z) if self.activation == "relu" else z
+        if self.workspace is None:
+            z = kernel_ops.gemm(x, self.params["W"]) + self.params["b"]
+            out = relu(z) if self.activation == "relu" else z
+        else:
+            z = kernel_ops.gemm(
+                x, self.params["W"], out=self._buf("z", (x.shape[0], self.out_dim))
+            )
+            z += self.params["b"]
+            if self.activation == "relu":
+                out = kernel_ops.relu(z, out=self._buf("act", z.shape))
+            else:
+                out = z
         self._cache = {"x": x, "z": z} if train else None
         return out
 
@@ -208,10 +312,29 @@ class DenseLayer:
         if self._cache is None:
             raise RuntimeError("backward called without a cached forward(train=True)")
         x, z = self._cache["x"], self._cache["z"]
-        dz = relu_grad(z, grad_out) if self.activation == "relu" else grad_out
-        self.grads["W"] += x.T @ dz
+        ws = self.workspace
+        if ws is None:
+            dz = relu_grad(z, grad_out) if self.activation == "relu" else grad_out
+        elif self.activation == "relu":
+            dz = kernel_ops.relu_backward(z, grad_out, out=self._buf("dz", z.shape))
+        else:
+            dz = grad_out
+        kernel_ops.gemm_accumulate(
+            self.grads["W"],
+            x.T,
+            dz,
+            scratch=self._buf("dW_scratch", (self.in_dim, self.out_dim))
+            if ws is not None
+            else None,
+        )
         self.grads["b"] += dz.sum(axis=0)
-        return dz @ self.params["W"].T
+        return kernel_ops.gemm(
+            dz,
+            self.params["W"].T,
+            out=self._buf("dx", (dz.shape[0], self.in_dim))
+            if ws is not None
+            else None,
+        )
 
     def zero_grad(self) -> None:
         """Reset accumulated parameter gradients to zero."""
@@ -230,12 +353,19 @@ class Dropout:
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, *, train: bool = True) -> np.ndarray:
-        """Apply an inverted-dropout mask (identity when evaluating)."""
+        """Apply an inverted-dropout mask (identity when evaluating).
+
+        The mask is materialized in ``x``'s own (floating) dtype: a
+        float32 activation stream stays float32 instead of being silently
+        promoted through a float64 mask.
+        """
         if not train or self.rate == 0.0:
             self._mask = None
             return x
         keep = 1.0 - self.rate
-        self._mask = (self.rng.random(x.shape) < keep) / keep
+        dtype = x.dtype if x.dtype.kind == "f" else np.dtype(np.float64)
+        mask = self.rng.random(x.shape) < keep
+        self._mask = mask.astype(dtype) / dtype.type(keep)
         return x * self._mask
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

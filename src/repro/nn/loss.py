@@ -21,6 +21,12 @@ from .activations import sigmoid, softmax
 __all__ = ["SoftmaxCrossEntropy", "SigmoidCrossEntropy", "make_loss"]
 
 
+def _loss_dtype(logits: np.ndarray) -> np.dtype:
+    """Targets compute in the logits' floating dtype (float32 logits must
+    not be promoted through float64 targets on the fast path)."""
+    return logits.dtype if logits.dtype.kind == "f" else np.dtype(np.float64)
+
+
 class SoftmaxCrossEntropy:
     """Mean softmax cross-entropy over rows; targets are int class ids."""
 
@@ -57,7 +63,7 @@ class SigmoidCrossEntropy:
 
     def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
         """Mean over rows of summed per-class logistic cross-entropy."""
-        targets = np.asarray(targets, dtype=np.float64)
+        targets = np.asarray(targets, dtype=_loss_dtype(logits))
         if targets.shape != logits.shape:
             raise ValueError(
                 f"targets shape {targets.shape} != logits shape {logits.shape}"
@@ -71,7 +77,7 @@ class SigmoidCrossEntropy:
 
     def backward(self, logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
         """d(mean loss)/d(logits) = (sigmoid(x) - y) / batch."""
-        targets = np.asarray(targets, dtype=np.float64)
+        targets = np.asarray(targets, dtype=_loss_dtype(logits))
         return (sigmoid(logits) - targets) / logits.shape[0]
 
     def predict(self, logits: np.ndarray) -> np.ndarray:

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graphs.csr import CSRGraph
+from ..kernels.workspace import Workspace
 from ..obs import is_enabled as obs_enabled
 from ..obs import metrics as obs_metrics
 from ..obs.trace import span
@@ -80,17 +81,33 @@ class PartitionedPropagator:
         cost parameters for simulated timing.
     cores:
         Worker count ``C`` used in the ``Q = max(C, 8nf/S_cache)`` rule.
+    backend:
+        Kernel-registry SpMM backend name (``"scipy"`` / ``"numpy"``).
+    workspace:
+        Optional :class:`repro.kernels.Workspace`; when given, each
+        pass's output lands in a reused arena buffer instead of a fresh
+        ``np.empty_like``. Buffers are keyed per pass direction *and*
+        per call index within this propagator's lifetime, so one layer's
+        cached aggregation is never clobbered by the next layer's.
     """
 
     def __init__(
-        self, graph: CSRGraph, machine: MachineSpec, *, cores: int
+        self,
+        graph: CSRGraph,
+        machine: MachineSpec,
+        *,
+        cores: int,
+        backend: str = "scipy",
+        workspace: Workspace | None = None,
     ) -> None:
         if cores <= 0:
             raise ValueError("cores must be positive")
         self.graph = graph
         self.machine = machine
         self.cores = cores
-        self._agg = MeanAggregator(graph)
+        self.workspace = workspace
+        self._agg = MeanAggregator(graph, backend=backend)
+        self._calls: dict[str, int] = {}
         self.reports: list[PropagationReport] = []
 
     @property
@@ -112,7 +129,14 @@ class PartitionedPropagator:
         n, f = x.shape
         with span(span_name) as sp:
             q = self.choose_q(f)
-            out = np.empty_like(x)
+            if self.workspace is None:
+                out = np.empty_like(x)
+            else:
+                call_idx = self._calls.get(span_name, 0)
+                self._calls[span_name] = call_idx + 1
+                out = self.workspace.buffer(
+                    ("prop", span_name, call_idx), x.shape, x.dtype
+                )
             bounds = np.linspace(0, f, q + 1).astype(int)
             for j in range(q):
                 lo, hi = bounds[j], bounds[j + 1]

@@ -1,67 +1,53 @@
-"""Sparse feature-aggregation kernels (the ``(A^T) H`` step of Algorithm 1).
+"""Sparse feature-aggregation adapters (the ``(A^T) H`` step of Algorithm 1).
 
 The GCN's feature-aggregation step computes, for every vertex, the mean of
 its neighbors' feature vectors. On the sampled subgraph this is the
-dominant irregular kernel (Section V of the paper). Two interchangeable
-backends are provided:
+dominant irregular kernel (Section V of the paper). The actual SpMM now
+lives in :mod:`repro.kernels` — this module keeps the historical entry
+points as thin adapters over it:
 
-* :func:`spmm_sum_scipy` — scipy CSR matvec, the fast path (C loops).
-* :func:`spmm_sum_numpy` — pure-numpy ``add.reduceat`` over the CSR arrays;
-  used as an independent oracle in tests and by the partitioned
-  propagation driver, whose per-feature-chunk traffic the cache model
-  meters explicitly.
+* :func:`spmm_sum_scipy` — the ``"scipy"`` kernel backend (CSR matvec,
+  C loops). The scipy operator is memoized per graph by the kernel
+  layer's adjacency cache, so repeated calls no longer rebuild it.
+* :func:`spmm_sum_numpy` — the ``"numpy"`` backend (pure-numpy
+  ``add.reduceat``); an independent oracle in tests and the kernel the
+  partitioned propagation driver's cache model reasons about.
 
-:class:`MeanAggregator` wraps a graph once (building the scipy operator a
-single time) and exposes the forward mean-aggregation and its adjoint for
-backpropagation. For an undirected graph with row-mean normalization
-``M = D^{-1} A``, the adjoint is ``M^T G = A (D^{-1} G)`` because ``A`` is
-symmetric.
+:class:`MeanAggregator` wraps a graph and exposes the forward
+mean-aggregation and its adjoint for backpropagation. For an undirected
+graph with row-mean normalization ``M = D^{-1} A``, the adjoint is
+``M^T G = A (D^{-1} G)`` because ``A`` is symmetric. Flop/op counting
+happens inside :mod:`repro.kernels.accounting` — not here.
 """
 
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
 
 from ..graphs.csr import CSRGraph
-from ..obs import is_enabled as obs_enabled
-from ..obs import metrics as obs_metrics
+from ..kernels import ops as kernel_ops
+from ..kernels.backends import available_backends
 
 __all__ = ["spmm_sum_scipy", "spmm_sum_numpy", "MeanAggregator"]
 
 
-def _to_scipy(graph: CSRGraph) -> sp.csr_matrix:
-    data = np.ones(graph.num_edges_directed, dtype=np.float64)
-    n = graph.num_vertices
-    return sp.csr_matrix((data, graph.indices, graph.indptr), shape=(n, n))
-
-
 def spmm_sum_scipy(graph: CSRGraph, features: np.ndarray) -> np.ndarray:
     """``A @ H``: per-vertex sum of neighbor features via scipy CSR."""
-    return _to_scipy(graph) @ features
+    return kernel_ops.spmm(graph, features, backend="scipy")
 
 
 def spmm_sum_numpy(graph: CSRGraph, features: np.ndarray) -> np.ndarray:
-    """``A @ H`` in pure numpy.
-
-    Gathers all neighbor rows then segment-sums them with
-    ``np.add.reduceat``. Zero-degree vertices produce zero rows (reduceat's
-    empty-segment pitfall is handled explicitly).
-    """
-    n = graph.num_vertices
-    f = features.shape[1]
-    out = np.zeros((n, f), dtype=features.dtype)
-    if graph.num_edges_directed == 0:
-        return out
-    gathered = features[graph.indices]
-    nonempty = np.flatnonzero(graph.degrees > 0)
-    starts = graph.indptr[nonempty]
-    out[nonempty] = np.add.reduceat(gathered, starts, axis=0)
-    return out
+    """``A @ H`` in pure numpy (gather + ``np.add.reduceat`` segment sum)."""
+    return kernel_ops.spmm(graph, features, backend="numpy")
 
 
 class MeanAggregator:
     """Mean neighbor aggregation ``M = D^{-1} A`` with adjoint.
+
+    A thin adapter over :func:`repro.kernels.ops.spmm` /
+    :func:`~repro.kernels.ops.spmm_adjoint`: it owns only the degree
+    normalization (cached per dtype) and delegates the sparse kernel —
+    and its cost accounting — to the kernel layer.
 
     Parameters
     ----------
@@ -69,11 +55,12 @@ class MeanAggregator:
         Undirected graph (symmetric adjacency). Zero-degree vertices
         aggregate to the zero vector.
     backend:
-        ``"scipy"`` (default, fast) or ``"numpy"`` (oracle).
+        Kernel-registry backend name: ``"scipy"`` (default, fast) or
+        ``"numpy"`` (oracle).
     """
 
     def __init__(self, graph: CSRGraph, *, backend: str = "scipy") -> None:
-        if backend not in ("scipy", "numpy"):
+        if backend not in available_backends():
             raise ValueError(f"unknown backend {backend!r}")
         self.graph = graph
         self.backend = backend
@@ -81,39 +68,48 @@ class MeanAggregator:
         self._inv_deg = np.divide(
             1.0, deg, out=np.zeros_like(deg), where=deg > 0
         )[:, None]
-        self._mat = _to_scipy(graph) if backend == "scipy" else None
+        self._inv_deg_by_dtype: dict[np.dtype, np.ndarray] = {
+            np.dtype(np.float64): self._inv_deg
+        }
 
     @property
     def num_vertices(self) -> int:
         return self.graph.num_vertices
 
-    def _spmm(self, x: np.ndarray) -> np.ndarray:
-        if obs_enabled():
-            # One SpMM op = one sparse row-sum over the whole matrix slice;
-            # flops ~ 2 * nnz * cols (multiply-free sum counted as adds).
-            obs_metrics.inc("spmm.ops")
-            obs_metrics.inc(
-                "spmm.flops", 2.0 * self.graph.num_edges_directed * x.shape[1]
-            )
-        if self._mat is not None:
-            return self._mat @ x
-        return spmm_sum_numpy(self.graph, x)
+    def _inv_deg_for(self, dtype: np.dtype) -> np.ndarray:
+        """``1/deg`` column in ``dtype`` (computed in float64, then cast)."""
+        inv = self._inv_deg_by_dtype.get(dtype)
+        if inv is None:
+            inv = self._inv_deg_by_dtype[dtype] = self._inv_deg.astype(dtype)
+        return inv
 
-    def forward(self, features: np.ndarray) -> np.ndarray:
+    def forward(
+        self, features: np.ndarray, *, out: np.ndarray | None = None
+    ) -> np.ndarray:
         """``D^{-1} A @ H`` — mean of neighbor feature vectors."""
         if features.shape[0] != self.num_vertices:
             raise ValueError(
                 f"features rows {features.shape[0]} != vertices {self.num_vertices}"
             )
-        return self._inv_deg * self._spmm(features)
+        inv = self._inv_deg_for(features.dtype)
+        if out is None:
+            return inv * kernel_ops.spmm(self.graph, features, backend=self.backend)
+        kernel_ops.spmm(self.graph, features, out=out, backend=self.backend)
+        np.multiply(out, inv, out=out)
+        return out
 
-    def backward(self, grad: np.ndarray) -> np.ndarray:
+    def backward(
+        self, grad: np.ndarray, *, out: np.ndarray | None = None
+    ) -> np.ndarray:
         """Adjoint ``M^T G = A (D^{-1} G)`` (valid for symmetric ``A``)."""
         if grad.shape[0] != self.num_vertices:
             raise ValueError(
                 f"grad rows {grad.shape[0]} != vertices {self.num_vertices}"
             )
-        return self._spmm(self._inv_deg * grad)
+        scaled = self._inv_deg_for(grad.dtype) * grad
+        return kernel_ops.spmm_adjoint(
+            self.graph, scaled, out=out, backend=self.backend
+        )
 
     def dense(self) -> np.ndarray:
         """Dense ``M`` for small graphs (testing only)."""

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels import ops as kernel_ops
+
 __all__ = [
     "l2_normalize_rows",
     "BruteForceIndex",
@@ -35,9 +37,14 @@ __all__ = [
 ]
 
 
-def l2_normalize_rows(matrix: np.ndarray) -> np.ndarray:
-    """L2-normalize rows (zero rows stay zero)."""
-    matrix = np.asarray(matrix, dtype=np.float64)
+def l2_normalize_rows(matrix: np.ndarray, dtype=np.float64) -> np.ndarray:
+    """L2-normalize rows (zero rows stay zero).
+
+    ``dtype`` selects the serving precision: float64 is the default
+    (exact, matches training output), float32 halves index memory and
+    similarity-scan traffic for a last-ulp recall cost.
+    """
+    matrix = np.asarray(matrix, dtype=dtype)
     norms = np.linalg.norm(matrix, axis=1, keepdims=True)
     return np.divide(
         matrix, norms, out=np.zeros_like(matrix), where=norms > 0
@@ -104,10 +111,17 @@ class BruteForceIndex:
     the peak memory cost.
     """
 
-    def __init__(self, embeddings: np.ndarray, *, chunk_size: int = 1024):
+    def __init__(
+        self,
+        embeddings: np.ndarray,
+        *,
+        chunk_size: int = 1024,
+        dtype=np.float64,
+    ):
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
-        self._normed = l2_normalize_rows(embeddings)
+        self.dtype = np.dtype(dtype)
+        self._normed = l2_normalize_rows(embeddings, dtype=self.dtype)
         self.chunk_size = chunk_size
 
     @property
@@ -144,16 +158,16 @@ class BruteForceIndex:
         """
         if k < 1:
             raise ValueError("k must be >= 1")
-        query_vecs = np.atleast_2d(np.asarray(query_vecs, dtype=np.float64))
-        qn = query_vecs if normalized else l2_normalize_rows(query_vecs)
+        query_vecs = np.atleast_2d(np.asarray(query_vecs, dtype=self.dtype))
+        qn = query_vecs if normalized else l2_normalize_rows(query_vecs, dtype=self.dtype)
         num_q = qn.shape[0]
         k = min(k, self.num_vectors - (1 if exclude is not None else 0))
         k = max(k, 1)
         idx_out = np.empty((num_q, k), dtype=np.int64)
-        sim_out = np.empty((num_q, k), dtype=np.float64)
+        sim_out = np.empty((num_q, k), dtype=self.dtype)
         for chunk in _query_chunks(num_q, self.chunk_size):
             rows = slice(chunk.start, chunk.stop)
-            sims = qn[rows] @ self._normed.T
+            sims = kernel_ops.gemm(qn[rows], self._normed.T)
             if exclude is not None:
                 sims[
                     np.arange(chunk.stop - chunk.start),
@@ -197,7 +211,7 @@ def _spherical_kmeans(
     centroids = normed[start].copy()
     assignments = np.zeros(n, dtype=np.int64)
     for _ in range(iters):
-        sims = normed @ centroids.T
+        sims = kernel_ops.gemm(normed, centroids.T)
         assignments = sims.argmax(axis=1)
         best = sims[np.arange(n), assignments]
         for c in range(num_clusters):
@@ -232,8 +246,10 @@ class ClusterIndex:
         assignments: np.ndarray | None = None,
         rng: np.random.Generator | None = None,
         kmeans_iters: int = 12,
+        dtype=np.float64,
     ):
-        self._normed = l2_normalize_rows(embeddings)
+        self.dtype = np.dtype(dtype)
+        self._normed = l2_normalize_rows(embeddings, dtype=self.dtype)
         n = self._normed.shape[0]
         if n == 0:
             raise ValueError("cannot index an empty embedding matrix")
@@ -242,12 +258,12 @@ class ClusterIndex:
             if assignments.shape[0] != n:
                 raise ValueError("assignments length != number of rows")
             num_clusters = int(assignments.max()) + 1
-            centroids = np.zeros((num_clusters, self._normed.shape[1]))
+            centroids = np.zeros((num_clusters, self._normed.shape[1]), dtype=self.dtype)
             for c in range(num_clusters):
                 members = assignments == c
                 if members.any():
                     centroids[c] = self._normed[members].mean(axis=0)
-            centroids = l2_normalize_rows(centroids)
+            centroids = l2_normalize_rows(centroids, dtype=self.dtype)
         else:
             if num_clusters is None:
                 num_clusters = max(1, min(n, int(round(np.sqrt(n)))))
@@ -295,11 +311,11 @@ class ClusterIndex:
         """
         if k < 1:
             raise ValueError("k must be >= 1")
-        query_vecs = np.atleast_2d(np.asarray(query_vecs, dtype=np.float64))
-        qn = query_vecs if normalized else l2_normalize_rows(query_vecs)
+        query_vecs = np.atleast_2d(np.asarray(query_vecs, dtype=self.dtype))
+        qn = query_vecs if normalized else l2_normalize_rows(query_vecs, dtype=self.dtype)
         num_q = qn.shape[0]
         p = int(np.clip(probes or self.default_probes, 1, self.num_clusters))
-        cent_sims = qn @ self.centroids.T
+        cent_sims = kernel_ops.gemm(qn, self.centroids.T)
         if p < self.num_clusters:
             probe_sets = np.argpartition(-cent_sims, kth=p - 1, axis=1)[:, :p]
         else:
@@ -313,14 +329,14 @@ class ClusterIndex:
             members = self._members[c]
             if querying.size == 0 or members.size == 0:
                 continue
-            block = qn[querying] @ self._normed[members].T
+            block = kernel_ops.gemm(qn[querying], self._normed[members].T)
             scanned += querying.size * members.size
             for row, q in enumerate(querying):
                 cand_ids[q].append(members)
                 cand_sims[q].append(block[row])
         self.last_rows_scanned = scanned
         idx_out = np.full((num_q, k), -1, dtype=np.int64)
-        sim_out = np.full((num_q, k), -np.inf, dtype=np.float64)
+        sim_out = np.full((num_q, k), -np.inf, dtype=self.dtype)
         exclude = None if exclude is None else np.asarray(exclude).ravel()
         for q in range(num_q):
             if not cand_ids[q]:

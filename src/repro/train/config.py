@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..kernels.backends import get_backend
+from ..kernels.policy import resolve_policy
 from ..parallel.machine import MachineSpec, xeon_40core
 
 __all__ = ["TrainConfig"]
@@ -26,6 +28,13 @@ class TrainConfig:
         instance (Section IV-C; the paper's platform uses 40 x 8).
     cores:
         Worker count used for training-phase cost simulation.
+    dtype_policy:
+        Kernel dtype policy name (see :mod:`repro.kernels.policy`):
+        ``"reference"`` (float64, no workspace — bit-identical to the
+        seed implementation) or ``"fast"`` (float32 + workspace reuse).
+    spmm_backend:
+        Kernel-registry SpMM backend for feature propagation
+        (``"scipy"`` or ``"numpy"``).
     epochs:
         One epoch processes ``ceil(|V_train| / budget)`` subgraph batches
         (the paper's definition of an epoch as one full traversal).
@@ -52,6 +61,8 @@ class TrainConfig:
     p_intra: int = 1
     cores: int = 1
     seed: int = 0
+    dtype_policy: str = "reference"
+    spmm_backend: str = "scipy"
     machine: MachineSpec = field(default_factory=xeon_40core)
 
     def __post_init__(self) -> None:
@@ -65,3 +76,7 @@ class TrainConfig:
             raise ValueError("parallelism parameters must be positive")
         if self.patience is not None and self.patience < 1:
             raise ValueError("patience must be >= 1 when set")
+        # Fail fast on typos; resolve_policy/get_backend raise ValueError
+        # naming the valid choices.
+        resolve_policy(self.dtype_policy)
+        get_backend(self.spmm_backend)
