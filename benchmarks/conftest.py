@@ -2,18 +2,22 @@
 
 Experiment benchmarks run their workload once (``benchmark.pedantic`` with
 a single round — these regenerate paper tables, they are not microbenches)
-through the :func:`paper_bench` fixture, which owns all the per-runner
-output from one code path:
+through the :func:`paper_bench` fixture. All per-runner output flows
+through one :class:`repro.obs.record.BenchReporter`, which owns the
+naming convention for the three sibling artifacts of a run:
 
 * the paper-style table → ``benchmarks/results/<name>.txt`` + stdout;
-* the raw results dict → ``BENCH_<name>.json`` (the cross-PR benchmark
-  trajectory);
+* the raw results dict plus the normalized
+  :class:`~repro.obs.record.BenchRecord` (environment fingerprint + raw
+  samples) → ``BENCH_<name>.json`` (the cross-PR benchmark trajectory
+  that ``bench-record`` / ``bench-gate`` consume);
 * the :mod:`repro.obs` trace of the same run → ``OBS_<name>.json``
   (per-phase span aggregates + counters — where the workload's time
   went, not just how long it took).
 
-The pure microbenches in ``bench_kernels.py`` get their stats exported to
-``BENCH_kernels.json`` by a session-finish hook.
+The pure microbenches in ``bench_kernels.py`` get their stats (raw
+rounds included) exported to ``BENCH_kernels.json`` by a session-finish
+hook, through the same writer.
 """
 
 from __future__ import annotations
@@ -23,7 +27,7 @@ import pathlib
 import pytest
 
 from repro import obs
-from repro.experiments.common import write_bench_json
+from repro.obs.record import BenchReporter
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -34,41 +38,57 @@ def results_dir() -> pathlib.Path:
     return RESULTS_DIR
 
 
+@pytest.fixture(scope="session")
+def reporter(results_dir) -> BenchReporter:
+    """The one artifact writer every bench fixture goes through."""
+    return BenchReporter(results_dir)
+
+
 @pytest.fixture
-def record_table(results_dir):
+def record_table(reporter):
     """Write a rendered experiment table to results/<name>.txt and stdout."""
 
     def _record(name: str, text: str) -> None:
-        path = results_dir / f"{name}.txt"
-        path.write_text(text + "\n")
+        path = reporter.write_table(name, text)
         print(f"\n{text}\n[written to {path}]")
 
     return _record
 
 
 @pytest.fixture
-def record_json(results_dir):
-    """Write a runner's raw results dict to results/BENCH_<name>.json."""
+def record_json(reporter):
+    """Write a runner's results + bench record to results/BENCH_<name>.json."""
 
     def _record(name: str, results) -> None:
-        path = write_bench_json(
-            results_dir / f"BENCH_{name}.json", name, results
+        path = reporter.write_results(
+            name, results, samples=_result_samples(results)
         )
         print(f"[written to {path}]")
 
     return _record
 
 
+def _result_samples(results) -> dict[str, list[float]] | None:
+    """Raw sample series a runner already computed (serving latencies)."""
+    if not isinstance(results, dict):
+        return None
+    latency = results.get("latency_samples")
+    if not isinstance(latency, dict):
+        return None
+    return {f"latency_s.{config}": list(v) for config, v in latency.items()}
+
+
 @pytest.fixture
-def paper_bench(benchmark, record_table, record_json, results_dir):
+def paper_bench(benchmark, record_table, record_json, reporter):
     """Run one paper-regeneration workload; emit table + BENCH + OBS json.
 
     Replaces the per-runner timing boilerplate: the workload executes
     once (``benchmark.pedantic``) inside an enabled ``bench.<name>`` obs
     span, then the fixture writes ``<name>.txt`` (when ``text`` renders a
     table), ``BENCH_<name>.json`` and ``OBS_<name>.json`` — so the
-    human-readable table, the results trajectory and the time-breakdown
-    trace all come from the same run.
+    human-readable table, the results trajectory (with its environment
+    fingerprint and any raw samples the obs registry collected) and the
+    time-breakdown trace all come from the same run.
     """
 
     def _run(name: str, fn, *, text=None):
@@ -78,7 +98,7 @@ def paper_bench(benchmark, record_table, record_json, results_dir):
         if text is not None:
             record_table(name, text(results))
         record_json(name, results)
-        path = obs.export.write_obs_json(results_dir / f"OBS_{name}.json", name)
+        path = reporter.write_obs(name)
         print(f"[written to {path}]")
         return results
 
@@ -90,11 +110,13 @@ def pytest_sessionfinish(session, exitstatus):
 
     The kernel benches have no results dict of their own — their product
     *is* the timing — so the trajectory file is assembled from the
-    benchmark session's stats after the run.
+    benchmark session's stats after the run; the raw per-round samples
+    go into the bench record so the gate has distributions to test.
     """
     policy_payload = getattr(session.config, "_kernel_policy_bench", None)
     bench_session = getattr(session.config, "_benchmarksession", None)
     rows = []
+    samples: dict[str, list[float]] = {}
     for bench in getattr(bench_session, "benchmarks", None) or []:
         if "bench_kernels" not in getattr(bench, "fullname", ""):
             continue  # table-style runners write their own BENCH_*.json
@@ -111,12 +133,14 @@ def pytest_sessionfinish(session, exitstatus):
                     "rounds": stats.rounds,
                 }
             )
+            raw = [float(v) for v in getattr(stats, "data", [])]
+            if raw:
+                samples[f"{bench.name}_s"] = raw
         except (AttributeError, TypeError):
             continue
     if rows or policy_payload:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        write_bench_json(
-            RESULTS_DIR / "BENCH_kernels.json",
+        BenchReporter(RESULTS_DIR).write_results(
             "kernels",
             {"microbench": rows, "dtype_policy": policy_payload},
+            samples=samples or None,
         )

@@ -22,6 +22,9 @@ import numpy as np
 
 from ..graphs.csr import CSRGraph
 from ..graphs.datasets import Dataset
+from ..obs import is_enabled as obs_enabled
+from ..obs import metrics as obs_metrics
+from ..obs.trace import span
 from ..nn.layers import DenseLayer
 from ..nn.loss import make_loss
 from ..nn.metrics import accuracy, f1_macro, f1_micro
@@ -177,9 +180,15 @@ class FastGCNTrainer:
             self.train_graph = ensure_min_degree(self.train_graph, 1, rng=self.rng)
         self.train_features = dataset.features[self.train_vmap]
         self.train_labels = dataset.labels[self.train_vmap]
-        t0 = time.perf_counter()
-        self.q = importance_distribution(self.train_graph)
-        self.preprocessing_seconds = time.perf_counter() - t0
+        with span("fastgcn.preprocess") as prep_sp:
+            t0 = time.perf_counter()
+            self.q = importance_distribution(self.train_graph)
+            self.preprocessing_seconds = time.perf_counter() - t0
+        if obs_enabled():
+            prep_sp.set(vertices=self.train_graph.num_vertices)
+            obs_metrics.observe(
+                "fastgcn.preprocess_seconds", self.preprocessing_seconds
+            )
         self.model = FastGCNModel(
             dataset.features.shape[1],
             config.hidden_dims,

@@ -21,6 +21,21 @@ Observability (see ``docs/observability.md``)::
 ``obs-report`` renders the per-phase breakdown table of any exported
 trace. Each subcommand prints the paper-style table; ``--out DIR``
 additionally writes it to ``DIR/<name>.txt``.
+
+Continuous performance observability::
+
+    python -m repro.cli bench-record --results benchmarks/results
+    python -m repro.cli bench-diff   --results benchmarks/results
+    python -m repro.cli bench-gate   --results benchmarks/results
+    python -m repro.cli slo-report   --queries 1000
+
+``bench-record`` appends every ``BENCH_*.json`` record (raw samples +
+environment fingerprint) to the JSONL history store; ``bench-diff``
+compares the current records against their history series
+(Mann–Whitney U + bootstrap CI, see :mod:`repro.obs.regress`);
+``bench-gate`` does the same and exits 1 on any ``regressed`` verdict;
+``slo-report`` runs a small instrumented training + serving workload and
+evaluates the standing SLO rules (:mod:`repro.obs.slo`) against it.
 """
 
 from __future__ import annotations
@@ -28,6 +43,8 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
+
+import numpy as np
 
 from .experiments import (
     ablations,
@@ -147,8 +164,16 @@ def _run_serve_bench(args: argparse.Namespace, out: pathlib.Path | None) -> None
     )
     _emit("serve_bench", serving.format_results(results), out)
     if out is not None:
+        samples = {
+            f"latency_s.{config}": values
+            for config, values in results.get("latency_samples", {}).items()
+        }
         path = write_bench_json(
-            out / "BENCH_serve_bench.json", "serve_bench", results
+            out / "BENCH_serve_bench.json",
+            "serve_bench",
+            results,
+            samples=samples,
+            env=_fingerprint(args),
         )
         print(f"[written to {path}]")
 
@@ -246,6 +271,138 @@ def _run_obs_report(args: argparse.Namespace, out: pathlib.Path | None) -> None:
     _emit("obs_report", obs_export.render_report(doc), out)
 
 
+def _fingerprint(args: argparse.Namespace) -> dict[str, str]:
+    """Environment fingerprint for CLI-emitted bench records."""
+    from .obs.record import environment_fingerprint
+
+    return environment_fingerprint(seed=args.seed)
+
+
+def _policy(args: argparse.Namespace):
+    """Regression policy from the CLI's gate knobs."""
+    from .obs.regress import RegressionPolicy
+
+    return RegressionPolicy(
+        min_samples=args.min_samples,
+        alpha=args.alpha,
+        noise_threshold=args.noise,
+        baseline_window=args.window,
+    )
+
+
+def _run_bench_record(args: argparse.Namespace, out: pathlib.Path | None) -> None:
+    """Append every BENCH_*.json record in --results to the history."""
+    from .obs.history import HistoryStore
+    from .obs.record import load_bench_records
+
+    store = HistoryStore(args.history)
+    records = load_bench_records(args.results)
+    if not records:
+        print(f"no BENCH_*.json records under {args.results}")
+        return
+    rows = []
+    for record in records:
+        appended = store.append(record)
+        rows.append(
+            {
+                "bench": record.bench,
+                "key": record.key,
+                "metrics": len(record.series),
+                "lines_appended": appended,
+            }
+        )
+    _emit(
+        "bench_record",
+        format_table(rows, title=f"bench-record -> {store.root}"),
+        out,
+    )
+
+
+def _diff_current_vs_history(args: argparse.Namespace):
+    from .obs.history import HistoryStore
+    from .obs.record import load_bench_records
+    from .obs.regress import diff_against_history
+
+    store = HistoryStore(args.history)
+    records = load_bench_records(args.results)
+    return diff_against_history(records, store, policy=_policy(args))
+
+
+def _run_bench_diff(args: argparse.Namespace, out: pathlib.Path | None) -> None:
+    """Statistical diff of the current results against their history."""
+    from .obs.regress import render_diff
+
+    comparisons = _diff_current_vs_history(args)
+    _emit("bench_diff", render_diff(comparisons), out)
+
+
+def _run_bench_gate(args: argparse.Namespace, out: pathlib.Path | None) -> int:
+    """bench-diff that exits 1 when any series gates ``regressed``."""
+    from .obs.regress import VERDICT_REGRESSED, render_diff, worst_verdict
+
+    comparisons = _diff_current_vs_history(args)
+    verdict = worst_verdict(comparisons)
+    text = render_diff(comparisons, title="bench gate")
+    text += f"\n\nbench-gate verdict: {verdict}"
+    _emit("bench_gate", text, out)
+    return 1 if verdict == VERDICT_REGRESSED else 0
+
+
+def _run_slo_report(args: argparse.Namespace, out: pathlib.Path | None) -> int:
+    """Evaluate the standing SLO rules against a real train+serve run.
+
+    One small instrumented training run (the span-coverage and
+    flop-drift rules read its tracer/counters; the expected flop count
+    comes from the always-on kernel accounting captured over the same
+    window) plus one serving trace replay (the deadline rule reads its
+    latency samples). Exits 1 on any breach when ``--strict``.
+    """
+    from . import obs
+    from .experiments.common import EXPERIMENT_SCALES
+    from .graphs.datasets import make_dataset
+    from .kernels import accounting
+    from .obs.slo import SLOContext, default_rules, evaluate, render_slo_report
+    from .serving.server import EmbeddingServer, ServerConfig
+    from .serving.workload import zipf_trace
+    from .train.config import TrainConfig
+    from .train.trainer import GraphSamplingTrainer
+
+    name = (args.datasets or ["ppi"])[0]
+    dataset = make_dataset(name, scale=EXPERIMENT_SCALES[name], seed=args.seed)
+    hidden = args.hidden or 64
+    config = TrainConfig(
+        hidden_dims=(hidden, hidden),
+        epochs=max(1, int(round(2 * args.epoch_scale))),
+        seed=args.seed,
+    )
+    obs.reset()
+    with obs.enabled(), accounting.capture() as kernel_costs:
+        trainer = GraphSamplingTrainer(dataset, config)
+        trainer.train()
+        rng = np.random.default_rng(args.seed)
+        embeddings = rng.standard_normal((2048, 32))
+        deadline = args.deadline_ms / 1e3
+        server = EmbeddingServer(
+            embeddings,
+            config=ServerConfig(max_batch=32, queue_capacity=256),
+            index="cluster",
+            index_kwargs={"num_clusters": 32, "probes": 8, "rng": rng},
+        )
+        trace = zipf_trace(
+            args.queries, 2048, skew=1.1, rate=2000.0, k=10,
+            rng=np.random.default_rng(args.seed + 1),
+        )
+        replay = server.serve_trace(trace)
+        ctx = SLOContext(
+            serving=replay.metrics,
+            expected_flops=kernel_costs.total_flops,
+        )
+        results = evaluate(default_rules(deadline=deadline), ctx)
+    _emit("slo_report", render_slo_report(results), out)
+    breached = any(not r.ok for r in results)
+    return 1 if (breached and args.strict) else 0
+
+
 _COMMANDS = {
     "table1": _run_table1,
     "extensions": _run_extensions,
@@ -257,8 +414,18 @@ _COMMANDS = {
     "serve-bench": _run_serve_bench,
     "train-bench": _run_train_bench,
     "obs-report": _run_obs_report,
+    "bench-record": _run_bench_record,
+    "bench-diff": _run_bench_diff,
+    "bench-gate": _run_bench_gate,
+    "slo-report": _run_slo_report,
     "report": _run_report,
 }
+
+#: Commands `all` skips: obs-report needs an explicit --trace, and the
+#: history/SLO tooling mutates the history store or re-runs workloads.
+_EXCLUDED_FROM_ALL = frozenset(
+    {"obs-report", "bench-record", "bench-diff", "bench-gate", "slo-report"}
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -312,6 +479,53 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="obs-report: path to an exported OBS_*.json / trace document",
     )
+    parser.add_argument(
+        "--results",
+        type=pathlib.Path,
+        default=pathlib.Path("benchmarks") / "results",
+        help="bench-record/diff/gate: directory holding BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--history",
+        type=pathlib.Path,
+        default=pathlib.Path("benchmarks") / "history",
+        help="bench-record/diff/gate: the append-only JSONL history store",
+    )
+    parser.add_argument(
+        "--alpha",
+        type=float,
+        default=0.01,
+        help="bench-gate: Mann-Whitney significance level",
+    )
+    parser.add_argument(
+        "--noise",
+        type=float,
+        default=0.10,
+        help="bench-gate: relative median shift treated as noise",
+    )
+    parser.add_argument(
+        "--min-samples",
+        type=int,
+        default=4,
+        help="bench-gate: samples required on each side to compare",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=3,
+        help="bench-gate: history entries pooled into the baseline",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=50.0,
+        help="slo-report: serving latency deadline in milliseconds",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="slo-report: exit 1 when any SLO rule is breached",
+    )
     return parser
 
 
@@ -319,13 +533,13 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point: run the selected experiment(s); returns exit code."""
     args = build_parser().parse_args(argv)
     if args.experiment == "all":
-        # obs-report needs an explicit --trace; everything else self-runs.
-        names = [n for n in sorted(_COMMANDS) if n != "obs-report"]
+        names = [n for n in sorted(_COMMANDS) if n not in _EXCLUDED_FROM_ALL]
     else:
         names = [args.experiment]
+    code = 0
     for name in names:
-        _COMMANDS[name](args, args.out)
-    return 0
+        code = max(code, _COMMANDS[name](args, args.out) or 0)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -8,7 +8,6 @@ assert on the returned data.
 
 from __future__ import annotations
 
-import json
 import pathlib
 from typing import Iterable, Mapping
 
@@ -70,19 +69,29 @@ def to_jsonable(obj: object) -> object:
 
 
 def write_bench_json(
-    path: pathlib.Path | str, name: str, results: object
+    path: pathlib.Path | str,
+    name: str,
+    results: object,
+    *,
+    record=None,
+    samples: dict | None = None,
+    env: dict | None = None,
 ) -> pathlib.Path:
     """Write one benchmark's results as machine-readable JSON.
 
     The ``BENCH_<name>.json`` files written next to the printed tables
     are the cross-PR benchmark trajectory: each holds ``{"bench": name,
-    "results": ...}`` with everything converted via :func:`to_jsonable`.
+    "results": ..., "record": ...}`` with everything converted via
+    :func:`to_jsonable`. The actual writer is
+    :func:`repro.obs.record.write_bench_json` (this is a delegating
+    alias kept for the many existing call sites), which embeds a
+    normalized :class:`~repro.obs.record.BenchRecord` — environment
+    fingerprint plus raw samples — into every file; pass ``samples``
+    (metric name → raw values) or a prebuilt ``record`` to enrich it.
     """
-    path = pathlib.Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    payload = {"bench": name, "results": to_jsonable(results)}
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    return path
+    from ..obs.record import write_bench_json as _write
+
+    return _write(path, name, results, record=record, samples=samples, env=env)
 
 
 def format_table(

@@ -154,12 +154,14 @@ def run(
         ),
     ]
     rows = []
+    latency_samples: dict[str, list[float]] = {}
     for name, cfg, kind, kwargs in configs:
         server = EmbeddingServer(
             emb, config=cfg, index=kind, index_kwargs=kwargs
         )
         replay = server.serve_trace(trace, collect_results=True)
         m = replay.metrics
+        latency_samples[name] = [float(v) for v in m.latency.samples]
         served_seqs = sorted(replay.results)
         m.recall_at_k = recall_at_k(
             np.array([replay.results[s] for s in served_seqs]),
@@ -172,6 +174,9 @@ def run(
         row["speedup_vs_naive"] = row["throughput_qps"] / base if base else 0.0
     return {
         "rows": rows,
+        # Raw per-request latencies per configuration: what bench-record
+        # appends to the history store and bench-gate tests against.
+        "latency_samples": latency_samples,
         "meta": {
             "num_vertices": num_vertices,
             "dim": dim,

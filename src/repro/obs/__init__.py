@@ -32,7 +32,7 @@ or from the command line::
 See ``docs/observability.md`` for the full guide.
 """
 
-from . import export, metrics
+from . import export, history, metrics, record, regress, slo
 from ._gate import enabled, is_enabled, set_enabled
 from .metrics import (
     Counter,
@@ -75,6 +75,10 @@ __all__ = [
     "get_registry",
     "metrics",
     "export",
+    "record",
+    "history",
+    "regress",
+    "slo",
     "reset",
 ]
 

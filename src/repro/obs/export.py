@@ -66,11 +66,14 @@ def trace_document(
     registry: MetricsRegistry | None = None,
 ) -> dict:
     """Full export: nested spans + per-phase aggregates + metrics."""
+    from .record import environment_fingerprint
+
     tracer = tracer or get_tracer()
     registry = registry or REGISTRY
     phases = aggregate(tracer.roots)
     return {
         "obs": name,
+        "env": environment_fingerprint(),
         "phases": {k: v.as_dict() for k, v in phases.items()},
         "metrics": _jsonable(registry.snapshot()),
         "spans": [span_to_dict(r) for r in tracer.roots],
@@ -147,10 +150,13 @@ def write_obs_json(
     ``{"bench": name, ...}``): per-phase aggregates plus the metrics
     snapshot, small enough to diff across PRs.
     """
+    from .record import environment_fingerprint
+
     tracer = tracer or get_tracer()
     registry = registry or REGISTRY
     doc = {
         "obs": name,
+        "env": environment_fingerprint(),
         "phases": {k: v.as_dict() for k, v in aggregate(tracer.roots).items()},
         "metrics": _jsonable(registry.snapshot()),
     }

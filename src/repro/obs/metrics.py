@@ -109,6 +109,12 @@ class Histogram:
         """Number of recorded samples."""
         return len(self._samples)
 
+    @property
+    def samples(self) -> tuple[float, ...]:
+        """The raw samples, in recording order (what bench records and
+        SLO evaluators consume — aggregates alone cannot be re-tested)."""
+        return tuple(self._samples)
+
     def percentile(self, q: float) -> float:
         """Exact ``q``-th percentile (linear interpolation); NaN if empty."""
         if not 0 <= q <= 100:

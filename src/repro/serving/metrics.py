@@ -83,6 +83,15 @@ class ServingMetrics:
         """Shed / offered (0.0 for an empty run)."""
         return self.shed / self.offered if self.offered else 0.0
 
+    def deadline_miss_rate(self, deadline: float) -> float:
+        """Fraction of served requests whose latency exceeded
+        ``deadline`` seconds (0.0 for an empty run) — what the serving
+        SLO rule in :mod:`repro.obs.slo` gates on."""
+        samples = self.latency.samples
+        if not samples:
+            return 0.0
+        return sum(1 for s in samples if s > deadline) / len(samples)
+
     def as_dict(self) -> dict[str, float]:
         """Flat summary row (latencies in milliseconds)."""
         lat = self.latency.summary(scale=1e3)

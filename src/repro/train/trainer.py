@@ -264,6 +264,12 @@ class GraphSamplingTrainer:
                     edges=subgraph.graph.num_edges,
                 )
                 obs_metrics.inc("trainer.iterations")
+        if obs_enabled():
+            # Raw per-iteration wall samples: what the bench-record /
+            # bench-gate pipeline runs its statistical tests on.
+            duration = getattr(it_sp, "duration", None)
+            if duration is not None:
+                obs_metrics.observe("trainer.iteration_seconds", duration)
         return batch_loss
 
     def train(self, *, epochs: int | None = None) -> TrainResult:

@@ -59,6 +59,41 @@ class TestTrainer:
         result = trainer.train()
         assert result.epochs[0].wall_seconds_total >= trainer.preprocessing_seconds
 
+    def test_preprocessing_observed(self, reddit_small):
+        """With obs on, preprocessing shows up as a span + histogram."""
+        from repro import obs
+        from repro.obs import metrics as obs_metrics
+        from repro.obs.trace import walk
+
+        cfg = FastGCNConfig(hidden_dims=(16,), layer_sizes=(100,), epochs=1)
+        obs.reset()
+        try:
+            with obs.enabled():
+                trainer = FastGCNTrainer(reddit_small, cfg)
+            spans = [
+                sp
+                for root in obs.get_tracer().roots
+                for sp in walk(root)
+                if sp.name == "fastgcn.preprocess"
+            ]
+            assert len(spans) == 1
+            assert spans[0].attrs["vertices"] == trainer.train_graph.num_vertices
+            hist = obs_metrics.get_registry().histograms["fastgcn.preprocess_seconds"]
+            assert hist.samples == (trainer.preprocessing_seconds,)
+        finally:
+            obs.reset()
+
+    def test_preprocessing_not_observed_when_disabled(self, reddit_small):
+        from repro import obs
+        from repro.obs import metrics as obs_metrics
+
+        cfg = FastGCNConfig(hidden_dims=(16,), layer_sizes=(100,), epochs=1)
+        obs.reset()
+        FastGCNTrainer(reddit_small, cfg)
+        assert "fastgcn.preprocess_seconds" not in (
+            obs_metrics.get_registry().histograms
+        )
+
     def test_starvation_recorded(self, reddit_small):
         """Small layer samples leave some destinations with no sampled
         in-neighbors — the sparse-connection failure mode."""

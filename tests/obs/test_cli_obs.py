@@ -1,9 +1,10 @@
-"""CLI surface: `train-bench` exports a trace, `obs-report` renders it."""
+"""CLI surface: bench/obs/gate subcommands over the observability layer."""
 
 from __future__ import annotations
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
@@ -12,7 +13,14 @@ from repro.cli import build_parser, main
 class TestParser:
     def test_commands_known(self):
         parser = build_parser()
-        for name in ("train-bench", "obs-report"):
+        for name in (
+            "train-bench",
+            "obs-report",
+            "bench-record",
+            "bench-diff",
+            "bench-gate",
+            "slo-report",
+        ):
             assert parser.parse_args([name]).experiment == name
 
     def test_trace_option(self, tmp_path):
@@ -20,6 +28,46 @@ class TestParser:
             ["obs-report", "--trace", str(tmp_path / "OBS_x.json")]
         )
         assert args.trace == tmp_path / "OBS_x.json"
+
+    def test_gate_knobs(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "bench-gate",
+                "--results",
+                str(tmp_path / "r"),
+                "--history",
+                str(tmp_path / "h"),
+                "--alpha",
+                "0.05",
+                "--noise",
+                "0.2",
+                "--min-samples",
+                "6",
+                "--window",
+                "5",
+            ]
+        )
+        assert args.results == tmp_path / "r"
+        assert args.history == tmp_path / "h"
+        assert args.alpha == 0.05
+        assert args.noise == 0.2
+        assert args.min_samples == 6
+        assert args.window == 5
+
+    def test_slo_knobs(self):
+        args = build_parser().parse_args(
+            ["slo-report", "--deadline-ms", "25", "--strict"]
+        )
+        assert args.deadline_ms == 25.0
+        assert args.strict
+
+    def test_maintenance_commands_excluded_from_all(self):
+        from repro.cli import _COMMANDS, _EXCLUDED_FROM_ALL
+
+        assert {"bench-record", "bench-diff", "bench-gate", "slo-report"} <= (
+            _EXCLUDED_FROM_ALL
+        )
+        assert _EXCLUDED_FROM_ALL <= set(_COMMANDS)
 
 
 class TestTrainBench:
@@ -98,3 +146,113 @@ class TestObsReportErrors:
         with pytest.raises(SystemExit) as exc:
             main(["obs-report"])
         assert exc.value.code == 2
+
+
+class TestBenchGateFlow:
+    """bench-record -> bench-gate end to end on fabricated BENCH files."""
+
+    def _write_bench(self, results_dir, samples):
+        from repro.obs.record import write_bench_json
+
+        write_bench_json(
+            results_dir / "BENCH_serve.json",
+            "serve",
+            {"rows": []},
+            samples={"latency_s": list(samples)},
+        )
+
+    def _samples(self, seed, scale=1.0, n=24):
+        rng = np.random.default_rng(seed)
+        return scale * 0.010 * np.exp(0.08 * rng.standard_normal(n))
+
+    def _gate_args(self, results, history):
+        return [
+            "--results",
+            str(results),
+            "--history",
+            str(history),
+        ]
+
+    @pytest.fixture
+    def dirs(self, tmp_path):
+        results = tmp_path / "results"
+        history = tmp_path / "history"
+        results.mkdir()
+        return results, history
+
+    def test_record_then_identical_rerun_passes(self, dirs, capsys):
+        results, history = dirs
+        self._write_bench(results, self._samples(0))
+        assert main(["bench-record", *self._gate_args(results, history)]) == 0
+        assert (history / "serve.jsonl").exists()
+        self._write_bench(results, self._samples(1))  # fresh same-dist run
+        code = main(["bench-gate", *self._gate_args(results, history)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bench-gate verdict: unchanged" in out
+
+    def test_planted_slowdown_fails_the_gate(self, dirs, capsys):
+        results, history = dirs
+        self._write_bench(results, self._samples(0))
+        main(["bench-record", *self._gate_args(results, history)])
+        self._write_bench(results, self._samples(1, scale=1.5))
+        code = main(["bench-gate", *self._gate_args(results, history)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "bench-gate verdict: regressed" in out
+        assert "regressed" in out
+
+    def test_first_run_never_gates(self, dirs, capsys):
+        """With no history yet the gate reports insufficient-data, exit 0."""
+        results, history = dirs
+        self._write_bench(results, self._samples(0))
+        code = main(["bench-gate", *self._gate_args(results, history)])
+        assert code == 0
+        assert "insufficient-data" in capsys.readouterr().out
+
+    def test_bench_diff_renders(self, dirs, capsys):
+        results, history = dirs
+        self._write_bench(results, self._samples(0))
+        main(["bench-record", *self._gate_args(results, history)])
+        self._write_bench(results, self._samples(1))
+        assert main(["bench-diff", *self._gate_args(results, history)]) == 0
+        out = capsys.readouterr().out
+        assert "latency_s" in out
+        assert "ratio" in out
+
+    def test_record_on_empty_results_is_a_noop(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        code = main(
+            ["bench-record", *self._gate_args(results, tmp_path / "history")]
+        )
+        assert code == 0
+        assert "no BENCH_" in capsys.readouterr().out
+        assert not (tmp_path / "history").exists()
+
+
+class TestSloReport:
+    def test_evaluates_the_standing_rules(self, tmp_path, capsys):
+        code = main(
+            [
+                "slo-report",
+                "--epoch-scale",
+                "0.34",
+                "--hidden",
+                "32",
+                "--queries",
+                "200",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0  # breaches only flip the exit code under --strict
+        text = (tmp_path / "slo_report.txt").read_text()
+        for rule in (
+            "serving-deadline-miss",
+            "iteration-span-coverage",
+            "flop-account-drift",
+        ):
+            assert rule in text, rule
+        # The instrumented run satisfies the repo's standing contracts.
+        assert "all SLOs met" in text
