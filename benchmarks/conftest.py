@@ -27,7 +27,7 @@ import pathlib
 import pytest
 
 from repro import obs
-from repro.obs.record import BenchReporter
+from repro.obs.record import BenchRecord, BenchReporter
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -60,22 +60,47 @@ def record_json(reporter):
     """Write a runner's results + bench record to results/BENCH_<name>.json."""
 
     def _record(name: str, results) -> None:
-        path = reporter.write_results(
-            name, results, samples=_result_samples(results)
-        )
+        samples = _result_samples(results)
+        record = None
+        if samples:
+            # Build the record explicitly so throughput-style series keep
+            # their higher-is-better direction (the default samples= path
+            # records everything as lower-is-better seconds).
+            record = BenchRecord.from_registry(name)
+            for metric, values in samples.items():
+                throughput = "throughput" in metric or "per_sec" in metric
+                record.add_samples(
+                    metric,
+                    values,
+                    unit="1/s" if throughput else "s",
+                    direction="higher" if throughput else "lower",
+                )
+        path = reporter.write_results(name, results, record=record)
         print(f"[written to {path}]")
 
     return _record
 
 
 def _result_samples(results) -> dict[str, list[float]] | None:
-    """Raw sample series a runner already computed (serving latencies)."""
+    """Raw sample series a runner already computed.
+
+    Two runner conventions feed this: the serving bench's
+    ``latency_samples`` (config → per-request latencies) and the generic
+    ``samples`` dict (metric name → values) the sampler-throughput bench
+    emits.
+    """
     if not isinstance(results, dict):
         return None
+    series: dict[str, list[float]] = {}
     latency = results.get("latency_samples")
-    if not isinstance(latency, dict):
-        return None
-    return {f"latency_s.{config}": list(v) for config, v in latency.items()}
+    if isinstance(latency, dict):
+        series.update(
+            {f"latency_s.{config}": list(v) for config, v in latency.items()}
+        )
+    generic = results.get("samples")
+    if isinstance(generic, dict):
+        series.update({str(k): list(v) for k, v in generic.items()})
+    return series or None
 
 
 @pytest.fixture

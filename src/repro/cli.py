@@ -178,6 +178,58 @@ def _run_serve_bench(args: argparse.Namespace, out: pathlib.Path | None) -> None
         print(f"[written to {path}]")
 
 
+def _run_sampler_bench(args: argparse.Namespace, out: pathlib.Path | None) -> int:
+    """Time fast vs reference Dashboard engines; optionally enforce a floor.
+
+    Emits ``BENCH_sampler_throughput.json`` with per-repeat wall-time
+    series for both engines (lower-is-better) and the fast engine's
+    subgraphs/sec series (higher-is-better) so bench-record / bench-gate
+    can track the sampler the same way they track serving latency.
+    """
+    from .experiments import samplerbench
+    from .obs.record import BenchRecord
+
+    results = samplerbench.run(
+        repeats=args.repeats,
+        seed=args.seed,
+        min_speedup=(
+            args.min_speedup
+            if args.min_speedup is not None
+            else samplerbench.DEFAULT_MIN_SPEEDUP
+        ),
+    )
+    _emit("sampler_bench", samplerbench.format_results(results), out)
+    if out is not None:
+        record = BenchRecord(bench="sampler_throughput", env=_fingerprint(args))
+        samples = results["samples"]
+        record.add_samples(
+            "sample_wall_s.fast", samples["sample_wall_s.fast"],
+            unit="s", direction="lower",
+        )
+        record.add_samples(
+            "sample_wall_s.reference", samples["sample_wall_s.reference"],
+            unit="s", direction="lower",
+        )
+        record.add_samples(
+            "throughput.fast", samples["throughput.fast"],
+            unit="subgraphs/s", direction="higher",
+        )
+        path = write_bench_json(
+            out / "BENCH_sampler_throughput.json",
+            "sampler_throughput",
+            {k: v for k, v in results.items() if k != "samples"},
+            record=record,
+        )
+        print(f"[written to {path}]")
+    if args.min_speedup is not None and not results["meets_target"]:
+        print(
+            f"sampler-bench: speedup {results['speedup']:.2f}x below "
+            f"--min-speedup {args.min_speedup:.2f}x"
+        )
+        return 1
+    return 0
+
+
 def _run_report(args: argparse.Namespace, out: pathlib.Path | None) -> None:
     """Assemble all tables in benchmarks/results/ into one document."""
     results_dir = (
@@ -236,10 +288,12 @@ def _run_train_bench(args: argparse.Namespace, out: pathlib.Path | None) -> None
         hidden_dims=(hidden, hidden),
         epochs=max(1, int(round(3 * args.epoch_scale))),
         seed=args.seed,
+        sampler_engine=args.sampler_engine,
+        prefetch_depth=args.prefetch_depth,
+        prefetch_workers=args.prefetch_workers,
     )
-    trainer = GraphSamplingTrainer(dataset, config)
     obs.reset()
-    with obs.enabled():
+    with obs.enabled(), GraphSamplingTrainer(dataset, config) as trainer:
         result = trainer.train()
     doc = obs.export.trace_document("train_bench")
     doc["meta"] = {
@@ -412,6 +466,7 @@ _COMMANDS = {
     "table2": _run_table2,
     "ablations": _run_ablations,
     "serve-bench": _run_serve_bench,
+    "sampler-bench": _run_sampler_bench,
     "train-bench": _run_train_bench,
     "obs-report": _run_obs_report,
     "bench-record": _run_bench_record,
@@ -466,6 +521,39 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=20.0,
         help="serve-bench: offered rate as a multiple of naive capacity",
+    )
+    parser.add_argument(
+        "--sampler-engine",
+        choices=["fast", "reference"],
+        default="fast",
+        help="train-bench: Dashboard sampler execution engine",
+    )
+    parser.add_argument(
+        "--prefetch-depth",
+        type=int,
+        default=0,
+        help="train-bench: subgraphs kept sampled ahead of the trainer "
+        "(0 disables the pipeline)",
+    )
+    parser.add_argument(
+        "--prefetch-workers",
+        type=int,
+        default=1,
+        help="train-bench: prefetch producers (1 = background thread, "
+        ">1 = process pool)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=12,
+        help="sampler-bench: timed subgraphs per engine",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="sampler-bench: exit 1 when fast/reference speedup is below "
+        "this factor",
     )
     parser.add_argument(
         "--out",

@@ -128,8 +128,13 @@ def run_partitioner_gamma(
     ds = make_dataset(dataset, scale=EXPERIMENT_SCALES[dataset], seed=seed)
     n = ds.graph.num_vertices
     budget = max(min(n // 4, 1200), 64)
+    # engine="reference" in the ablations: the committed modeled-cost
+    # tables were produced with the scalar oracle's RNG stream.
     sampler = DashboardFrontierSampler(
-        ds.graph, frontier_size=max(budget // 6, 16), budget=budget
+        ds.graph,
+        frontier_size=max(budget // 6, 16),
+        budget=budget,
+        engine="reference",
     )
     sub = sampler.sample(np.random.default_rng(seed)).graph
     rng = np.random.default_rng(seed + 1)
@@ -165,7 +170,7 @@ def run_dashboard_eta(
     rows = []
     for eta in etas:
         sampler = DashboardFrontierSampler(
-            ds.graph, frontier_size=m, budget=budget, eta=eta
+            ds.graph, frontier_size=m, budget=budget, eta=eta, engine="reference"
         )
         rng = np.random.default_rng(seed)
         agg = {"probes": 0.0, "pops": 0.0, "cleanups": 0.0, "time": 0.0, "bytes": 0.0}
@@ -257,6 +262,7 @@ def run_degree_cap(
             budget=budget,
             eta=2.0,
             max_entries_per_vertex=cap_value,
+            engine="reference",
         )
         rng = np.random.default_rng(seed)
         vertex_sets = [sampler.sample(rng).vertex_map for _ in range(num_subgraphs)]
@@ -305,7 +311,11 @@ def run_sampler_comparison(
     budget = min(cfg.budget, g.num_vertices)
     samplers = {
         "frontier": DashboardFrontierSampler(
-            g, frontier_size=min(cfg.frontier_size, budget), budget=budget, eta=cfg.eta
+            g,
+            frontier_size=min(cfg.frontier_size, budget),
+            budget=budget,
+            eta=cfg.eta,
+            engine="reference",
         ),
         "random_node": RandomNodeSampler(g, budget=budget),
         "random_edge": RandomEdgeSampler(g, budget=budget),

@@ -1,0 +1,141 @@
+"""Sampler-throughput microbenchmark: fast vs reference Dashboard engine.
+
+Measures real wall-clock subgraphs/second of both
+:class:`~repro.sampling.dashboard.DashboardFrontierSampler` engines on the
+Reddit-profile dataset (the profile whose scale drives the paper's Fig. 4
+sampling-cost discussion) and reports the speedup. The workload is sized
+so the pop/replace/append loop dominates — the regime the vectorized
+engine exists for; at trivial budgets the shared subgraph-induction cost
+floors the ratio.
+
+The ``samples`` dict carries per-repeat wall times for each engine so the
+emitted ``BENCH_sampler_throughput.json`` feeds the bench-record /
+bench-gate history tooling: the fast-engine series is the protected
+baseline, the reference series documents the oracle's cost, and the
+``throughput.fast`` series (subgraphs/sec, higher-is-better) is the
+headline metric.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..graphs.datasets import make_dataset
+from ..sampling.dashboard import ENGINES, DashboardFrontierSampler
+from .common import EXPERIMENT_SCALES, format_table
+
+__all__ = ["run", "format_results", "DEFAULT_MIN_SPEEDUP"]
+
+#: The speedup the fast engine is expected to clear on this workload
+#: (asserted by ``benchmarks/bench_sampler_throughput.py`` and available
+#: to ``sampler-bench --min-speedup``).
+DEFAULT_MIN_SPEEDUP = 3.0
+
+
+def run(
+    *,
+    dataset: str = "reddit",
+    scale: float | None = None,
+    budget: int | None = None,
+    frontier_size: int | None = None,
+    repeats: int = 12,
+    seed: int = 0,
+    min_speedup: float = DEFAULT_MIN_SPEEDUP,
+) -> dict:
+    """Time both engines on one workload; returns rows + raw samples.
+
+    The default workload: Reddit profile at the standard experiment
+    scale, ``budget = 3n/4`` and ``frontier = budget/6`` (the paper's
+    frontier:budget ratio at a size where sampling work, not subgraph
+    induction, dominates). Engines are timed interleaved — repeat ``i``
+    of every engine runs back-to-back — so slow host drift hits both
+    equally.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    ds = make_dataset(
+        dataset,
+        scale=EXPERIMENT_SCALES[dataset] if scale is None else scale,
+        seed=seed,
+    )
+    graph = ds.graph
+    n = graph.num_vertices
+    if budget is None:
+        budget = max(min(3 * n // 4, 1750), 64)
+    if frontier_size is None:
+        frontier_size = max(budget // 6, 16)
+
+    samplers = {
+        engine: DashboardFrontierSampler(
+            graph,
+            frontier_size=frontier_size,
+            budget=budget,
+            engine=engine,
+        )
+        for engine in ENGINES
+    }
+    rngs = {engine: np.random.default_rng(seed) for engine in ENGINES}
+    for engine, sampler in samplers.items():
+        sampler.sample(rngs[engine])  # warmup: allocators, caches
+
+    wall: dict[str, list[float]] = {engine: [] for engine in ENGINES}
+    stats: dict[str, dict] = {}
+    for _ in range(repeats):
+        for engine, sampler in samplers.items():
+            t0 = time.perf_counter()
+            sub = sampler.sample(rngs[engine])
+            wall[engine].append(time.perf_counter() - t0)
+            stats[engine] = sub.stats
+
+    rows = []
+    med = {}
+    for engine in ENGINES:
+        times = np.asarray(wall[engine])
+        med[engine] = float(np.median(times))
+        rows.append(
+            {
+                "engine": engine,
+                "median_ms": med[engine] * 1e3,
+                "subgraphs_per_sec": 1.0 / med[engine],
+                "probes_per_pop": stats[engine]["probes"]
+                / max(stats[engine]["pops"], 1.0),
+                "cleanups": stats[engine]["cleanups"],
+            }
+        )
+    speedup = med["reference"] / med["fast"]
+    return {
+        "dataset": dataset,
+        "num_vertices": n,
+        "budget": budget,
+        "frontier_size": frontier_size,
+        "repeats": repeats,
+        "rows": rows,
+        "speedup": speedup,
+        "min_speedup": min_speedup,
+        "meets_target": bool(speedup >= min_speedup),
+        "samples": {
+            "sample_wall_s.fast": wall["fast"],
+            "sample_wall_s.reference": wall["reference"],
+            "throughput.fast": [1.0 / t for t in wall["fast"]],
+        },
+    }
+
+
+def format_results(results: dict) -> str:
+    """Render the per-engine table plus the speedup verdict line."""
+    table = format_table(
+        results["rows"],
+        title=(
+            f"sampler throughput — {results['dataset']} "
+            f"(n={results['num_vertices']}, budget={results['budget']}, "
+            f"m={results['frontier_size']})"
+        ),
+    )
+    verdict = (
+        f"fast vs reference speedup: {results['speedup']:.2f}x "
+        f"(target >= {results['min_speedup']:.1f}x, "
+        f"{'met' if results['meets_target'] else 'NOT met'})"
+    )
+    return f"{table}\n\n{verdict}"

@@ -16,7 +16,7 @@ from .cost import (
     theorem1_max_processors,
     theorem1_speedup_bound,
 )
-from .dashboard import Dashboard, DashboardFrontierSampler
+from .dashboard import ENGINES, Dashboard, DashboardFrontierSampler
 from .extra import (
     ForestFireSampler,
     MetropolisHastingsWalkSampler,
@@ -26,6 +26,11 @@ from .extra import (
     SnowballSampler,
 )
 from .mp_pool import ParallelSamplerPool, sample_batch_parallel
+from .pipeline import (
+    PrefetchingSubgraphPool,
+    PrefetchStats,
+    SubgraphPrefetcher,
+)
 from .parallel_sim import (
     CleanupEvent,
     PopEvent,
@@ -38,6 +43,10 @@ from .scheduler import PoolFill, SubgraphPool
 
 __all__ = [
     "GraphSampler",
+    "ENGINES",
+    "PrefetchStats",
+    "SubgraphPrefetcher",
+    "PrefetchingSubgraphPool",
     "AliasTable",
     "dynamic_sampling_cost",
     "degree_biased_visits",

@@ -73,15 +73,21 @@ class FrontierSampler(GraphSampler):
         sampled = np.empty(self.budget, dtype=np.int64)
         sampled[:m] = frontier
         pops = self.budget - m
+        degrees = graph.degrees
         for i in range(pops):
-            # Degree-proportional pop (Algorithm 2, line 4).
-            probs = frontier_deg / frontier_deg.sum()
-            slot = rng.choice(m, p=probs)
+            # Degree-proportional pop (Algorithm 2, line 4): inverse-CDF
+            # draw over the degree weights. Still O(m) per pop — the
+            # serial complexity the Dashboard removes — but the cumsum +
+            # searchsorted pair is one vectorized pass where the previous
+            # normalize-then-``rng.choice(p=...)`` rebuilt a full
+            # probability vector (and re-validated it) every iteration.
+            cum = np.cumsum(frontier_deg)
+            slot = int(np.searchsorted(cum, rng.random() * cum[-1], side="right"))
             popped = frontier[slot]
             # Uniform neighbor replacement (lines 5-6).
             replacement = graph.random_neighbor(popped, rng)
             frontier[slot] = replacement
-            frontier_deg[slot] = graph.degrees[replacement]
+            frontier_deg[slot] = degrees[replacement]
             sampled[m + i] = popped
 
         if obs_enabled():

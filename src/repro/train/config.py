@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from ..kernels.backends import get_backend
 from ..kernels.policy import resolve_policy
 from ..parallel.machine import MachineSpec, xeon_40core
+from ..sampling.dashboard import ENGINES
 
 __all__ = ["TrainConfig"]
 
@@ -35,6 +36,18 @@ class TrainConfig:
     spmm_backend:
         Kernel-registry SpMM backend for feature propagation
         (``"scipy"`` or ``"numpy"``).
+    sampler_engine:
+        Dashboard sampler execution engine: ``"fast"`` (vectorized
+        round-based) or ``"reference"`` (scalar oracle); see
+        :mod:`repro.sampling.dashboard`.
+    prefetch_depth:
+        When > 0, subgraphs are sampled ahead of the trainer through
+        :class:`repro.sampling.pipeline.PrefetchingSubgraphPool` with
+        this many subgraphs in flight; 0 keeps the simulated-clock
+        :class:`~repro.sampling.scheduler.SubgraphPool`.
+    prefetch_workers:
+        Producer parallelism of the prefetch pipeline (1 = one
+        background thread, > 1 = a process pool).
     epochs:
         One epoch processes ``ceil(|V_train| / budget)`` subgraph batches
         (the paper's definition of an epoch as one full traversal).
@@ -63,6 +76,9 @@ class TrainConfig:
     seed: int = 0
     dtype_policy: str = "reference"
     spmm_backend: str = "scipy"
+    sampler_engine: str = "fast"
+    prefetch_depth: int = 0
+    prefetch_workers: int = 1
     machine: MachineSpec = field(default_factory=xeon_40core)
 
     def __post_init__(self) -> None:
@@ -76,7 +92,16 @@ class TrainConfig:
             raise ValueError("parallelism parameters must be positive")
         if self.patience is not None and self.patience < 1:
             raise ValueError("patience must be >= 1 when set")
+        if self.prefetch_depth < 0:
+            raise ValueError("prefetch_depth must be >= 0")
+        if self.prefetch_workers < 1:
+            raise ValueError("prefetch_workers must be >= 1")
         # Fail fast on typos; resolve_policy/get_backend raise ValueError
         # naming the valid choices.
         resolve_policy(self.dtype_policy)
         get_backend(self.spmm_backend)
+        if self.sampler_engine not in ENGINES:
+            raise ValueError(
+                f"sampler_engine must be one of {ENGINES}, "
+                f"got {self.sampler_engine!r}"
+            )

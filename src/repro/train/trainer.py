@@ -40,6 +40,7 @@ from ..nn.optim import Adam
 from ..parallel.trace import ExecutionTrace
 from ..propagation.feature_prop import PartitionedPropagator
 from ..sampling.dashboard import DashboardFrontierSampler
+from ..sampling.pipeline import PrefetchingSubgraphPool
 from ..sampling.scheduler import SubgraphPool
 from .config import TrainConfig
 from .evaluation import EvalResult, Evaluator
@@ -160,14 +161,28 @@ class GraphSamplingTrainer:
                 eta=config.eta,
                 max_entries_per_vertex=config.max_entries_per_vertex,
                 vector_lanes=config.machine.vector_lanes,
+                engine=config.sampler_engine,
             )
-        self.pool = SubgraphPool(
-            self.sampler,
-            config.machine,
-            p_inter=config.p_inter,
-            p_intra=config.p_intra,
-            rng=self.rng,
-        )
+        if config.prefetch_depth > 0:
+            # Sampler-ahead pipeline: subgraphs are produced in the
+            # background while the trainer computes (real overlap), and
+            # stall/staleness telemetry flows through obs counters.
+            self.pool = PrefetchingSubgraphPool(
+                self.sampler,
+                config.machine,
+                depth=config.prefetch_depth,
+                workers=config.prefetch_workers,
+                p_intra=config.p_intra,
+                seed=config.seed,
+            )
+        else:
+            self.pool = SubgraphPool(
+                self.sampler,
+                config.machine,
+                p_inter=config.p_inter,
+                p_intra=config.p_intra,
+                rng=self.rng,
+            )
         self.model = GCN(
             dataset.features.shape[1],
             list(config.hidden_dims),
@@ -187,6 +202,23 @@ class GraphSamplingTrainer:
         self.batches_per_epoch = max(
             1, -(-self.train_graph.num_vertices // budget)
         )
+
+    def close(self) -> None:
+        """Release sampler-pipeline resources (idempotent).
+
+        Only meaningful with ``prefetch_depth > 0``, where the pool owns a
+        background executor; the simulated-clock pool has nothing to
+        release. Training remains usable as a context manager either way.
+        """
+        closer = getattr(self.pool, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self) -> "GraphSamplingTrainer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _patch_isolated_vertices(self) -> None:
         """The induced training graph can strand vertices; give each a

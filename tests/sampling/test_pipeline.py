@@ -1,0 +1,210 @@
+"""Sampler-ahead pipeline: prefetcher semantics + trainer integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.trace import walk
+from repro.sampling.dashboard import DashboardFrontierSampler
+from repro.sampling.pipeline import (
+    PrefetchingSubgraphPool,
+    PrefetchStats,
+    SubgraphPrefetcher,
+)
+from repro.sampling.scheduler import SubgraphPool
+from repro.train.config import TrainConfig
+from repro.train.trainer import GraphSamplingTrainer
+
+
+@pytest.fixture
+def sampler(medium_graph):
+    return DashboardFrontierSampler(
+        medium_graph, frontier_size=20, budget=120
+    )
+
+
+class TestSubgraphPrefetcher:
+    def test_determinism_across_instances(self, sampler):
+        def collect(n):
+            with SubgraphPrefetcher(sampler, depth=2, seed=42) as pf:
+                return [pf.get().vertex_map.copy() for _ in range(n)]
+
+        a = collect(4)
+        b = collect(4)
+        assert len(a) == len(b) == 4
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_determinism_independent_of_depth(self, sampler):
+        """The i-th subgraph depends only on the seed stream, never on
+        how far ahead the producer ran."""
+        with SubgraphPrefetcher(sampler, depth=1, seed=7) as shallow:
+            a = [shallow.get().vertex_map.copy() for _ in range(3)]
+        with SubgraphPrefetcher(sampler, depth=3, seed=7) as deep:
+            b = [deep.get().vertex_map.copy() for _ in range(3)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_stats_accounting(self, sampler):
+        with SubgraphPrefetcher(sampler, depth=2, seed=0) as pf:
+            for _ in range(5):
+                pf.get()
+            st = pf.stats
+            assert isinstance(st, PrefetchStats)
+            assert st.gets == 5
+            # depth initial submissions + one top-up per get.
+            assert st.submitted == 2 + 5
+            assert st.consumer_stall_seconds >= 0.0
+            assert st.staleness_seconds >= 0.0
+            assert st.producer_stall_seconds <= st.staleness_seconds
+            assert st.mean_staleness == pytest.approx(
+                st.staleness_seconds / 5
+            )
+
+    def test_close_is_idempotent_and_get_after_close_raises(self, sampler):
+        pf = SubgraphPrefetcher(sampler, depth=1, seed=0)
+        pf.close()
+        pf.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pf.get()
+
+    def test_validation(self, sampler):
+        with pytest.raises(ValueError, match="depth"):
+            SubgraphPrefetcher(sampler, depth=0)
+        with pytest.raises(ValueError, match="workers"):
+            SubgraphPrefetcher(sampler, depth=1, workers=0)
+
+    def test_obs_metrics_emitted(self, sampler):
+        obs.reset()
+        with obs.enabled():
+            with SubgraphPrefetcher(sampler, depth=2, seed=1) as pf:
+                for _ in range(3):
+                    pf.get()
+            snap = obs.metrics.snapshot()
+        obs.reset()
+        assert snap["counters"]["pipeline.gets"] == 3
+        assert snap["counters"]["pipeline.submitted"] == 3
+        assert "pipeline.queue_depth" in snap["gauges"]
+        hists = snap["histograms"]
+        assert hists["pipeline.consumer_stall_seconds"]["count"] == 3
+        assert hists["pipeline.staleness_seconds"]["count"] == 3
+
+    @pytest.mark.slow
+    def test_process_pool_matches_thread_results(self, sampler):
+        """workers>1 goes through mp_pool's pickled-sampler path; the
+        seed stream is identical, so the subgraphs are too."""
+        with SubgraphPrefetcher(sampler, depth=2, workers=2, seed=5) as pf:
+            procs = [pf.get().vertex_map.copy() for _ in range(3)]
+        with SubgraphPrefetcher(sampler, depth=2, workers=1, seed=5) as pf:
+            threads = [pf.get().vertex_map.copy() for _ in range(3)]
+        for x, y in zip(procs, threads):
+            assert np.array_equal(x, y)
+
+
+class TestPrefetchingSubgraphPool:
+    def test_pool_contract(self, sampler, machine=None):
+        from repro.parallel.machine import MachineSpec
+
+        machine = MachineSpec()
+        with PrefetchingSubgraphPool(
+            sampler, machine, depth=2, seed=3
+        ) as pool:
+            sub, sim = pool.get()
+            assert sub.num_vertices > 0
+            assert isinstance(sim, float) and sim > 0.0
+            assert pool.stats.gets == 1
+
+    def test_amortized_cost_matches_scheduler_pricing(self, sampler):
+        """Same sampler stats priced the same way as SubgraphPool.refill
+        at p_inter = workers = 1: identical simulated cost."""
+        from repro.parallel.machine import MachineSpec
+        from repro.sampling.cost import simulated_sampler_time
+
+        machine = MachineSpec()
+        with PrefetchingSubgraphPool(
+            sampler, machine, depth=1, seed=9
+        ) as pool:
+            sub, sim = pool.get()
+        expected = simulated_sampler_time(
+            sub.stats,
+            machine,
+            p_intra=1,
+            contention_factor=machine.sampler_contention_factor(1),
+        )
+        assert sim == pytest.approx(expected)
+
+    def test_validation(self, sampler):
+        from repro.parallel.machine import MachineSpec
+
+        with pytest.raises(ValueError, match="p_intra"):
+            PrefetchingSubgraphPool(
+                sampler, MachineSpec(), depth=1, p_intra=0
+            )
+
+
+class TestTrainerIntegration:
+    def _config(self, **kw):
+        kw.setdefault("hidden_dims", (16,))
+        kw.setdefault("frontier_size", 16)
+        kw.setdefault("budget", 80)
+        kw.setdefault("epochs", 1)
+        kw.setdefault("eval_every", 1)
+        kw.setdefault("seed", 0)
+        return TrainConfig(**kw)
+
+    def test_prefetch_pool_selected(self, ppi_small):
+        with GraphSamplingTrainer(
+            ppi_small, self._config(prefetch_depth=2)
+        ) as trainer:
+            assert isinstance(trainer.pool, PrefetchingSubgraphPool)
+        with GraphSamplingTrainer(ppi_small, self._config()) as trainer:
+            assert isinstance(trainer.pool, SubgraphPool)
+
+    def test_training_with_prefetch_reports_stall_metrics(self, ppi_small):
+        obs.reset()
+        with obs.enabled():
+            with GraphSamplingTrainer(
+                ppi_small, self._config(prefetch_depth=2)
+            ) as trainer:
+                result = trainer.train()
+            roots = list(obs.get_tracer().roots)
+            snap = obs.metrics.snapshot()
+        obs.reset()
+        assert result.iterations > 0
+        counters = snap["counters"]
+        assert counters["pipeline.gets"] == result.iterations
+        hists = snap["histograms"]
+        assert (
+            hists["pipeline.consumer_stall_seconds"]["count"]
+            == result.iterations
+        )
+        spans = [
+            sp
+            for root in roots
+            for sp in walk(root)
+            if sp.name == "sampler.pipeline.get"
+        ]
+        assert len(spans) == result.iterations
+
+    def test_prefetch_run_converges_like_inline_run(self, ppi_small):
+        """Both pool flavors train to a finite loss and produce the same
+        iteration count; the loss trajectories differ only through RNG
+        stream divergence, so just sanity-check magnitudes."""
+        with GraphSamplingTrainer(
+            ppi_small, self._config(prefetch_depth=2)
+        ) as trainer:
+            pre = trainer.train()
+        inline = GraphSamplingTrainer(ppi_small, self._config()).train()
+        assert pre.iterations == inline.iterations
+        assert np.isfinite(pre.epochs[-1].train_loss)
+        assert np.isfinite(inline.epochs[-1].train_loss)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            self._config(prefetch_depth=-1)
+        with pytest.raises(ValueError):
+            self._config(prefetch_workers=0)
+        with pytest.raises(ValueError):
+            self._config(sampler_engine="warp")
