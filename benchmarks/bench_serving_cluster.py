@@ -1,0 +1,64 @@
+"""Benchmark S2 — sharded, replicated cluster serving (the PR-6 tentpole).
+
+Runs the three-phase cluster experiment at paper scale — the
+million-vertex Zipf trace, the bursty hedging comparison against a
+deterministic straggler replica, and the streaming-upsert soak under
+the cluster SLO rules — and records the table plus the
+BENCH_serve_cluster.json trajectory file.
+
+Shapes to hold: 4 shards x 2 replicas sustain >= 2x the batched
+single-server throughput at recall@10 >= 0.9 (centroid routing at
+fanout 2 of 4); hedged requests lower p99 on the bursty trace; the
+streaming upserts land on every shard while queries are in flight and
+keep both cluster SLOs (worst per-shard p99, staleness bound) green.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import serving
+
+
+def test_cluster_serving(paper_bench):
+    results = paper_bench(
+        "serve_cluster",
+        lambda: serving.run_cluster(
+            num_queries=2000, num_vertices=1_000_000, seed=0
+        ),
+        text=serving.format_cluster_results,
+    )
+
+    meta = results["meta"]
+    rows = {(r["phase"], r["config"]): r for r in results["rows"]}
+    assert set(r["phase"] for r in results["rows"]) == set(
+        serving.CLUSTER_PHASES
+    )
+
+    # Acceptance bar 1: the 4x2 cluster sustains >= 2x the batched
+    # single server's throughput on the million-vertex Zipf trace while
+    # fanout-2 centroid routing keeps recall@10 >= 0.9 against the
+    # single server's exact answers.
+    assert meta["num_shards"] >= 4 and meta["replicas"] >= 2
+    assert meta["speedup_vs_single"] >= 2.0
+    assert meta["recall_at_k_cluster"] >= 0.9
+
+    # Acceptance bar 2: hedged requests measurably lower p99 against
+    # the deterministic straggler replica on the bursty trace.
+    assert meta["p99_ms_hedge"] < meta["p99_ms_nohedge"]
+    assert meta["hedges"] > 0 and meta["hedge_wins"] > 0
+
+    # Acceptance bar 3: streaming upserts refreshed every shard while
+    # queries were in flight, and both cluster SLOs stayed green.
+    assert meta["upserts_applied"] == 3 * meta["num_shards"]
+    assert meta["max_staleness_s"] <= meta["staleness_bound_s"]
+    assert meta["slo_ok"], results["slo"]
+    assert {r["rule"] for r in results["slo"]} == {
+        "cluster-per-shard-p99",
+        "cluster-staleness-bound",
+    }
+
+    # Request conservation and sane latency ordering in every phase.
+    for r in results["rows"]:
+        assert r["served"] + r["shed"] > 0
+        assert r["p50_ms"] <= r["p95_ms"] <= r["p99_ms"]
+    cluster_row = rows[("zipf-throughput", f"cluster-{meta['num_shards']}x{meta['replicas']}")]
+    assert cluster_row["mean_fanout"] <= meta["fanout"]

@@ -24,6 +24,17 @@ Builtin kinds:
   ``max_rel_drift`` — if the guarded dual-write path drifts from the
   always-on account, the observability layer itself is lying.
 * ``histogram_p99`` — p99 of any registry histogram <= ``threshold``.
+* ``per_shard_p99`` — worst per-shard p99 across every registry
+  histogram matching ``prefix``/``suffix`` (the cluster's
+  ``cluster.shard.<s>.latency_seconds`` family) <= ``threshold`` — one
+  hot shard cannot hide behind the cluster-wide percentile.
+* ``staleness_bound`` — max of a staleness histogram (age of the
+  embedding slab each served result was computed from,
+  ``cluster.staleness_seconds``) <= ``bound`` — the streaming-upsert
+  freshness contract.
+
+:func:`cluster_rules` bundles the two cluster rules the serve-bench
+cluster mode evaluates.
 """
 
 from __future__ import annotations
@@ -40,6 +51,7 @@ __all__ = [
     "SLOResult",
     "evaluate",
     "default_rules",
+    "cluster_rules",
     "render_slo_report",
     "register_evaluator",
 ]
@@ -182,11 +194,54 @@ def _eval_histogram_p99(rule: SLORule, ctx: SLOContext) -> SLOResult:
     )
 
 
+def _eval_per_shard_p99(rule: SLORule, ctx: SLOContext) -> SLOResult:
+    prefix = str(rule.params.get("prefix", "cluster.shard."))
+    suffix = str(rule.params.get("suffix", ".latency_seconds"))
+    threshold = float(rule.params["threshold"])
+    registry = ctx.get_registry()
+    matching = {
+        name: hist
+        for name, hist in registry.histograms.items()
+        if name.startswith(prefix) and name.endswith(suffix) and len(hist)
+    }
+    if not matching:
+        return SLOResult(
+            rule.name, rule.kind, float("nan"), threshold, False,
+            detail=f"no histograms matching {prefix}*{suffix}",
+        )
+    worst_name, worst = max(
+        matching.items(), key=lambda kv: kv[1].percentile(99)
+    )
+    p99 = worst.percentile(99)
+    return SLOResult(
+        rule.name, rule.kind, p99, threshold, p99 <= threshold,
+        detail=f"worst of {len(matching)} shards: {worst_name}",
+    )
+
+
+def _eval_staleness_bound(rule: SLORule, ctx: SLOContext) -> SLOResult:
+    metric = str(rule.params.get("metric", "cluster.staleness_seconds"))
+    bound = float(rule.params["bound"])
+    hist = ctx.get_registry().histograms.get(metric)
+    if hist is None or not len(hist):
+        return SLOResult(
+            rule.name, rule.kind, float("nan"), bound, False,
+            detail=f"no samples under {metric!r}",
+        )
+    worst = hist.max()
+    return SLOResult(
+        rule.name, rule.kind, worst, bound, worst <= bound,
+        detail=f"max slab age over {len(hist)} served sub-requests",
+    )
+
+
 _EVALUATORS: dict[str, Callable[[SLORule, SLOContext], SLOResult]] = {
     "serving_deadline_miss": _eval_serving_deadline_miss,
     "span_coverage": _eval_span_coverage,
     "flop_drift": _eval_flop_drift,
     "histogram_p99": _eval_histogram_p99,
+    "per_shard_p99": _eval_per_shard_p99,
+    "staleness_bound": _eval_staleness_bound,
 }
 
 
@@ -255,6 +310,34 @@ def default_rules(
             kind="flop_drift",
             params={"max_rel_drift": max_flop_drift},
             description="obs flop counters must match the Eq. 1-anchored account",
+        ),
+    ]
+
+
+def cluster_rules(
+    *,
+    per_shard_p99: float = 0.100,
+    staleness_bound: float = 5.0,
+) -> list[SLORule]:
+    """The sharded-serving SLO set (what serve-bench --cluster gates on).
+
+    ``per_shard_p99`` caps the p99 sub-request latency of the *worst*
+    shard; ``staleness_bound`` caps the age (seconds on the replay
+    clock) of the embedding slab behind any served result — the
+    contract streaming upserts must keep while queries are in flight.
+    """
+    return [
+        SLORule(
+            name="cluster-per-shard-p99",
+            kind="per_shard_p99",
+            params={"threshold": per_shard_p99},
+            description="every shard's sub-request p99 stays under the cap",
+        ),
+        SLORule(
+            name="cluster-staleness-bound",
+            kind="staleness_bound",
+            params={"bound": staleness_bound},
+            description="no served result computed from a slab older than the bound",
         ),
     ]
 

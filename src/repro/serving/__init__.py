@@ -14,40 +14,81 @@ vertex-embedding requests under a simulated request stream, with
   deadline-based ANN degradation;
 * :mod:`repro.serving.metrics` — latency percentiles, throughput,
   hit-rate, recall;
-* :mod:`repro.serving.workload` — Zipf-skewed Poisson query traces.
+* :mod:`repro.serving.workload` — Zipf-skewed Poisson query traces,
+  plus bursty and diurnal arrival processes;
+* :mod:`repro.serving.router` — centroid shard routing, least-
+  outstanding replica dispatch, hedged-request policy;
+* :mod:`repro.serving.upsert` — streaming embedding-slab producer;
+* :mod:`repro.serving.cluster` — the sharded, replicated
+  :class:`~repro.serving.cluster.ClusterServer` composing all of the
+  above on the same simulated clock.
 
 ``python -m repro.cli serve-bench`` and ``benchmarks/bench_serving.py``
 replay the same trace through naive / batched / batched+cached+ANN
-configurations and print a paper-style comparison table.
+configurations and print a paper-style comparison table;
+``serve-bench --cluster`` runs the sharded cluster benchmark
+(``benchmarks/bench_serving_cluster.py``).
 """
 
 from .batcher import MicroBatcher, Request
-from .cache import LRUCache
+from .cache import GenerationalCache, LRUCache
+from .cluster import (
+    ClusterConfig,
+    ClusterReplay,
+    ClusterServer,
+    ShardedIndex,
+    partition_vertices,
+)
 from .index import (
     BruteForceIndex,
     ClusterIndex,
     build_index,
     l2_normalize_rows,
+    merge_topk,
     recall_at_k,
 )
 from .metrics import LatencyHistogram, ServingMetrics
+from .router import CentroidRouter, HedgePolicy, LeastOutstandingDispatcher
 from .server import EmbeddingServer, ServerConfig, TraceReplay
-from .workload import QueryTrace, zipf_trace
+from .upsert import SlabUpsertProducer, UpsertSlab, drift_refresh
+from .workload import (
+    QueryTrace,
+    bursty_trace,
+    diurnal_trace,
+    modulated_trace,
+    zipf_trace,
+)
 
 __all__ = [
     "BruteForceIndex",
     "ClusterIndex",
     "build_index",
     "l2_normalize_rows",
+    "merge_topk",
     "recall_at_k",
     "MicroBatcher",
     "Request",
+    "GenerationalCache",
     "LRUCache",
     "LatencyHistogram",
     "ServingMetrics",
     "EmbeddingServer",
     "ServerConfig",
     "TraceReplay",
+    "ClusterConfig",
+    "ClusterReplay",
+    "ClusterServer",
+    "ShardedIndex",
+    "partition_vertices",
+    "CentroidRouter",
+    "HedgePolicy",
+    "LeastOutstandingDispatcher",
+    "SlabUpsertProducer",
+    "UpsertSlab",
+    "drift_refresh",
     "QueryTrace",
     "zipf_trace",
+    "bursty_trace",
+    "diurnal_trace",
+    "modulated_trace",
 ]

@@ -1,0 +1,729 @@
+"""Sharded, replicated embedding serving with streaming upserts.
+
+The single-node :class:`~repro.serving.server.EmbeddingServer` scans one
+index; production traffic at the ROADMAP's scale wants the GraphVite /
+GOSH shape instead: vertices are *partitioned* into shards (cache-aware
+graph partition from :mod:`repro.graphs.partition`, or spherical
+k-means in embedding space), each shard holds an index over its members
+behind a small replica set, and a query fans out only to the
+``fanout`` shards whose centroids rank highest
+(:class:`~repro.serving.router.CentroidRouter`).
+
+:class:`ClusterServer` composes per-replica micro-batchers on the same
+discrete-event virtual clock the single server replays on, so the whole
+cluster stays deterministic and unit-testable:
+
+* **admission** — each arrival is routed, then one sub-request per
+  fan-out shard is enqueued on that shard's least-outstanding replica
+  (:class:`~repro.serving.router.LeastOutstandingDispatcher`); if any
+  replica queue is full the whole query is shed.
+* **service** — replica batches run exactly like the single server's:
+  measured around the real kernels, or priced by a deterministic
+  ``service_model(shard, replica, batch_size, rows)``.
+* **hedging** — a sub-request still unresolved after the
+  :class:`~repro.serving.router.HedgePolicy` threshold is duplicated on
+  a sibling replica; the first completion wins (duplicates still pay
+  their service cost — hedging buys tail latency with extra work).
+* **upserts** — before every event, slabs from a
+  :class:`~repro.serving.upsert.SlabUpsertProducer` whose production
+  time has passed are swapped in: shard index rebuilt, centroid
+  refreshed, and the shard's cache *group* generation bumped so only
+  results that touched that shard are invalidated.
+* **merge** — per-shard candidates merge via
+  :func:`~repro.serving.index.merge_topk`; a full fan-out reproduces
+  the unsharded :class:`~repro.serving.index.BruteForceIndex` top-k
+  bit-identically (property-tested).
+
+Obs: ``cluster.*`` counters/histograms (fan-out width, hedge rate,
+replica queue depth, upsert lag, staleness, per-shard latency) feed the
+``per_shard_p99`` and ``staleness_bound`` SLO rules in
+:mod:`repro.obs.slo`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..obs import is_enabled as obs_enabled
+from ..obs import metrics as obs_metrics
+from ..obs.trace import span
+from .batcher import MicroBatcher, Request
+from .cache import GenerationalCache
+from .index import (
+    BruteForceIndex,
+    ClusterIndex,
+    l2_normalize_rows,
+    merge_topk,
+    _spherical_kmeans,
+)
+from .metrics import ServingMetrics
+from .router import CentroidRouter, HedgePolicy, LeastOutstandingDispatcher
+from .upsert import SlabUpsertProducer
+from .workload import QueryTrace
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterReplay",
+    "ClusterServer",
+    "ShardedIndex",
+    "partition_vertices",
+]
+
+
+def partition_vertices(
+    embeddings: np.ndarray | None = None,
+    *,
+    num_shards: int,
+    method: str = "kmeans",
+    graph=None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Vertex -> shard assignment for the cluster.
+
+    ``"kmeans"`` partitions in embedding space (spherical k-means — the
+    shards the centroid router prunes best); ``"graph"`` reuses the
+    cache-aware LDG streaming partitioner
+    (:func:`repro.graphs.partition.greedy_edge_partition`), whose
+    locality the propagation model scores via
+    :func:`repro.propagation.partition_model.gamma_of_partition`.
+    """
+    rng = rng or np.random.default_rng(0)
+    if method == "kmeans":
+        if embeddings is None:
+            raise ValueError("kmeans partitioning needs embeddings")
+        normed = l2_normalize_rows(embeddings)
+        _, assignment = _spherical_kmeans(normed, num_shards, rng)
+        return assignment
+    if method == "graph":
+        if graph is None:
+            raise ValueError("graph partitioning needs a graph")
+        from ..graphs.partition import greedy_edge_partition
+
+        return greedy_edge_partition(graph, num_shards, rng=rng)
+    raise ValueError(f"unknown partition method {method!r}")
+
+
+class ShardedIndex:
+    """Shard-partitioned index with centroid routing and top-k merge.
+
+    The query-plane core of the cluster, without replicas or queueing:
+    per-shard :class:`BruteForceIndex`/:class:`ClusterIndex` instances
+    over member rows, a :class:`CentroidRouter` over the partition, and
+    :func:`merge_topk` across the fan-out. ``fanout=None`` scans every
+    shard — bit-identical to the unsharded brute-force scan.
+    """
+
+    def __init__(
+        self,
+        embeddings: np.ndarray,
+        assignment: np.ndarray,
+        *,
+        index: str = "brute",
+        index_kwargs: dict | None = None,
+        include_owner: bool = True,
+        dtype=np.float64,
+    ):
+        self.dtype = np.dtype(dtype)
+        self._raw = np.asarray(embeddings)
+        self._normed = l2_normalize_rows(embeddings, dtype=self.dtype)
+        self.router = CentroidRouter(self._normed, assignment)
+        self.include_owner = include_owner
+        self.index_kind = index
+        self.index_kwargs = dict(index_kwargs or {})
+        self.indexes = [
+            self._build(self._raw[self.router.members(s)], s)
+            for s in range(self.num_shards)
+        ]
+        self.last_rows_scanned = 0
+
+    def _build(self, member_rows: np.ndarray, shard: int):
+        kwargs = dict(self.index_kwargs)
+        if self.index_kind == "brute":
+            return BruteForceIndex(member_rows, dtype=self.dtype, **kwargs)
+        if self.index_kind == "cluster":
+            kwargs.setdefault("rng", np.random.default_rng(7_000 + shard))
+            return ClusterIndex(member_rows, dtype=self.dtype, **kwargs)
+        raise ValueError(f"unknown shard index kind {self.index_kind!r}")
+
+    @property
+    def num_shards(self) -> int:
+        return self.router.num_shards
+
+    @property
+    def num_vectors(self) -> int:
+        return self._normed.shape[0]
+
+    @property
+    def normed(self) -> np.ndarray:
+        """The live row-normalized embedding matrix (upserts land here)."""
+        return self._normed
+
+    @property
+    def assignment(self) -> np.ndarray:
+        """Vertex -> shard assignment (what the upsert producer needs)."""
+        return self.router.assignment
+
+    def replace_shard(self, shard: int, vertex_ids: np.ndarray, vectors: np.ndarray) -> None:
+        """Swap one shard's embeddings in (the upsert path)."""
+        normed_rows = l2_normalize_rows(vectors, dtype=self.dtype)
+        self._normed[vertex_ids] = normed_rows
+        self.indexes[shard] = self._build(vectors, shard)
+        self.router.refresh_centroid(shard, normed_rows)
+
+    def search_ids(
+        self,
+        query_ids: np.ndarray,
+        k: int,
+        *,
+        fanout: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` neighbors of indexed vertices, excluding themselves.
+
+        ``fanout=None`` (or >= the shard count) fans out everywhere —
+        the exact path; smaller values prune via centroid routing.
+        """
+        query_ids = np.asarray(query_ids, dtype=np.int64).ravel()
+        k = max(1, min(k, self.num_vectors - 1))
+        if fanout is None:
+            fanout = self.num_shards
+        routed = self.router.route(
+            self._normed[query_ids],
+            fanout,
+            owners=self.router.assignment[query_ids]
+            if self.include_owner
+            else None,
+        )
+        num_q = query_ids.shape[0]
+        parts_ids: list[list[np.ndarray]] = [[] for _ in range(num_q)]
+        parts_sims: list[list[np.ndarray]] = [[] for _ in range(num_q)]
+        scanned = 0
+        # Invert routing: one batched search per shard over the queries
+        # that fan out to it (the replica batching the ClusterServer does
+        # per-request, collapsed into one pass).
+        for s in range(self.num_shards):
+            qsel = np.flatnonzero((routed == s).any(axis=1))
+            members = self.router.members(s)
+            if qsel.size == 0 or members.size == 0:
+                continue
+            index = self.indexes[s]
+            k_eff = min(k + 1, index.num_vectors)
+            idx_local, sims = index.search(
+                self._normed[query_ids[qsel]], k_eff, normalized=True
+            )
+            scanned += index.last_rows_scanned
+            gids = np.where(idx_local >= 0, members[idx_local], -1)
+            for row, q in enumerate(qsel):
+                parts_ids[q].append(gids[row])
+                parts_sims[q].append(sims[row])
+        self.last_rows_scanned = scanned
+        idx_out = np.full((num_q, k), -1, dtype=np.int64)
+        sim_out = np.full((num_q, k), -np.inf, dtype=self.dtype)
+        for q in range(num_q):
+            idx_out[q], sim_out[q] = merge_topk(
+                parts_ids[q],
+                parts_sims[q],
+                k,
+                exclude=int(query_ids[q]),
+                dtype=self.dtype,
+            )
+        return idx_out, sim_out
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Knobs for one serving cluster (see module docstring)."""
+
+    num_shards: int = 4
+    replicas: int = 2  # per shard
+    fanout: int = 2  # shards scanned per query
+    max_batch: int = 32
+    max_wait: float = 0.0
+    queue_capacity: int = 256  # per replica, pending sub-requests
+    cache_capacity: int = 0  # 0 disables the merged-result cache
+    hedge: bool = False
+    hedge_percentile: float = 95.0
+    hedge_min_samples: int = 32
+    hedge_fallback: float = 0.05  # seconds, pre-warmup hedge trigger
+    include_owner: bool = True  # force the query's own shard into fan-out
+    shard_index: str = "brute"  # per-shard index kind
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if self.fanout < 1:
+            raise ValueError("fanout must be >= 1")
+
+
+@dataclass
+class ClusterReplay:
+    """Outcome of one cluster trace replay."""
+
+    metrics: ServingMetrics  # cluster-level (end-to-end latencies)
+    shard_metrics: list[ServingMetrics]  # per-shard sub-request view
+    results: dict[int, np.ndarray] | None = None  # trace seq -> top-k ids
+    stats: dict[str, float] = field(default_factory=dict)
+
+
+class _Replica:
+    """One shard replica: its queue and busy horizon on the virtual clock."""
+
+    __slots__ = ("shard", "idx", "batcher", "busy_until")
+
+    def __init__(self, shard: int, idx: int, batcher: MicroBatcher):
+        self.shard = shard
+        self.idx = idx
+        self.batcher = batcher
+        self.busy_until = 0.0
+
+    def outstanding(self, now: float) -> int:
+        return len(self.batcher) + (1 if self.busy_until > now else 0)
+
+
+class _Query:
+    """One trace request fanned out over shards."""
+
+    __slots__ = ("qid", "k", "seq", "arrival", "subs", "dead")
+
+    def __init__(self, qid: int, k: int, seq: int, arrival: float):
+        self.qid = qid
+        self.k = k
+        self.seq = seq
+        self.arrival = arrival
+        self.subs: list[_SubQuery] = []
+        self.dead = False
+
+
+class _SubQuery:
+    """The logical (query, shard) unit; may be dispatched more than once."""
+
+    __slots__ = (
+        "query", "shard", "unserviced", "best", "winner_is_hedge",
+        "ids", "sims", "data_ts", "hedge_pending", "done",
+    )
+
+    def __init__(self, query: _Query, shard: int):
+        self.query = query
+        self.shard = shard
+        self.unserviced = 0
+        self.best: float | None = None  # earliest completion so far
+        self.winner_is_hedge = False
+        self.ids: np.ndarray | None = None
+        self.sims: np.ndarray | None = None
+        self.data_ts = 0.0  # produced_at of the slab the winner served
+        self.hedge_pending = False  # an unfired hedge trigger exists
+        self.done = False
+
+    @property
+    def resolved(self) -> bool:
+        """Final: every dispatched copy serviced, no hedge still armed."""
+        return (
+            self.best is not None
+            and self.unserviced == 0
+            and not self.hedge_pending
+        )
+
+
+class _Dispatch:
+    """One enqueued copy of a sub-query on a specific replica."""
+
+    __slots__ = ("sub", "replica", "is_hedge")
+
+    def __init__(self, sub: _SubQuery, replica: _Replica, is_hedge: bool):
+        self.sub = sub
+        self.replica = replica
+        self.is_hedge = is_hedge
+
+
+class ClusterServer:
+    """Discrete-event sharded serving cluster (see module docstring)."""
+
+    def __init__(
+        self,
+        embeddings: np.ndarray,
+        *,
+        config: ClusterConfig | None = None,
+        assignment: np.ndarray | None = None,
+        partition_method: str = "kmeans",
+        graph=None,
+        index_kwargs: dict | None = None,
+        service_model: Callable[[int, int, int, int], float] | None = None,
+        upserts: SlabUpsertProducer | None = None,
+        rng: np.random.Generator | None = None,
+        dtype=np.float64,
+    ):
+        self.config = config or ClusterConfig()
+        cfg = self.config
+        if assignment is None:
+            assignment = partition_vertices(
+                embeddings,
+                num_shards=cfg.num_shards,
+                method=partition_method,
+                graph=graph,
+                rng=rng or np.random.default_rng(0),
+            )
+        self.sharded = ShardedIndex(
+            embeddings,
+            assignment,
+            index=cfg.shard_index,
+            index_kwargs=index_kwargs,
+            include_owner=cfg.include_owner,
+            dtype=dtype,
+        )
+        self.router = self.sharded.router
+        self.cache = (
+            GenerationalCache(cfg.cache_capacity)
+            if cfg.cache_capacity > 0
+            else None
+        )
+        # service_model(shard, replica, batch_size, rows_scanned) -> s;
+        # None measures the real kernel time (benchmark mode).
+        self.service_model = service_model
+        self.upserts = upserts
+        self.shard_loaded_at = [0.0] * self.num_shards  # slab produced_at
+        self.upserts_applied = 0
+
+    @property
+    def num_shards(self) -> int:
+        return self.sharded.num_shards
+
+    # ------------------------------------------------------------------
+    # Single-request convenience path (no queueing).
+    def query(self, query_id: int, k: int = 10) -> np.ndarray:
+        """Top-``k`` neighbor ids of one vertex, through the cache."""
+        key = (int(query_id), int(k))
+        if self.cache is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                return hit
+        idx, _ = self.sharded.search_ids(
+            np.array([query_id]), k, fanout=self.config.fanout
+        )
+        result = idx[0].copy()
+        if self.cache is not None:
+            routed = self.router.route(
+                self.sharded.normed[[query_id]],
+                self.config.fanout,
+                owners=np.array([self.router.owner(query_id)])
+                if self.config.include_owner
+                else None,
+            )
+            self.cache.put(key, result, groups=tuple(int(s) for s in routed[0]))
+        return result
+
+    # ------------------------------------------------------------------
+    # Trace replay.
+    def serve_trace(
+        self, trace: QueryTrace, *, collect_results: bool = False
+    ) -> ClusterReplay:
+        """Replay ``trace`` through the cluster event loop.
+
+        With :mod:`repro.obs` enabled, emits ``cluster.*`` counters and
+        histograms (fan-out width, hedge rate, replica queue depth,
+        per-shard latency, staleness, upsert lag) on the shared registry.
+        """
+        with span("cluster.trace") as sp:
+            replay = self._serve_trace(trace, collect_results=collect_results)
+        if obs_enabled():
+            sp.set(requests=len(trace), served=replay.metrics.served)
+            obs_metrics.inc("cluster.requests", len(trace))
+            obs_metrics.inc("cluster.served", replay.metrics.served)
+            obs_metrics.inc("cluster.shed", replay.metrics.shed)
+            obs_metrics.inc("cluster.cache_hits", replay.metrics.cache_hits)
+            obs_metrics.inc("cluster.cache_misses", replay.metrics.cache_misses)
+            obs_metrics.inc("cluster.hedges", int(replay.stats["hedges"]))
+            obs_metrics.inc("cluster.hedge_wins", int(replay.stats["hedge_wins"]))
+            obs_metrics.inc("cluster.upserts", int(replay.stats["upserts_applied"]))
+        return replay
+
+    def _serve_trace(
+        self, trace: QueryTrace, *, collect_results: bool
+    ) -> ClusterReplay:
+        cfg = self.config
+        metrics = ServingMetrics()
+        shard_metrics = [ServingMetrics() for _ in range(self.num_shards)]
+        replicas: list[_Replica] = []
+        by_shard: list[list[_Replica]] = []
+        for s in range(self.num_shards):
+            group = [
+                _Replica(
+                    s,
+                    r,
+                    MicroBatcher(
+                        max_batch=cfg.max_batch,
+                        max_wait=cfg.max_wait,
+                        capacity=cfg.queue_capacity,
+                    ),
+                )
+                for r in range(cfg.replicas)
+            ]
+            by_shard.append(group)
+            replicas.extend(group)
+        policy = HedgePolicy(
+            percentile=cfg.hedge_percentile,
+            min_samples=cfg.hedge_min_samples,
+            fallback=cfg.hedge_fallback,
+        )
+        dispatches: list[_Dispatch] = []  # Request.seq indexes this
+        hedge_heap: list[tuple[float, int, int]] = []  # (fire, tiebreak, dispatch)
+        results: dict[int, np.ndarray] | None = {} if collect_results else None
+        stats = {
+            "hedges": 0.0,
+            "hedge_wins": 0.0,
+            "hedge_dropped": 0.0,
+            "subqueries": 0.0,
+            "routed_queries": 0.0,
+            "fanout_total": 0.0,
+            "upserts_applied": 0.0,
+            "max_staleness_s": 0.0,
+        }
+        INF = float("inf")
+        i, n = 0, len(trace)
+        ids, arrivals = trace.query_ids, trace.arrivals
+
+        def _enqueue(sub: _SubQuery, replica: _Replica, t: float, is_hedge: bool) -> bool:
+            d = _Dispatch(sub, replica, is_hedge)
+            seq = len(dispatches)
+            if not replica.batcher.offer(Request(sub.query.qid, sub.query.k, t, seq)):
+                return False
+            dispatches.append(d)
+            sub.unserviced += 1
+            if obs_enabled():
+                obs_metrics.observe(
+                    "cluster.replica_queue_depth", replica.outstanding(t)
+                )
+            return True
+
+        def _finalize(q: _Query) -> None:
+            idx, _ = merge_topk(
+                [s.ids for s in q.subs],
+                [s.sims for s in q.subs],
+                q.k,
+                exclude=q.qid,
+                dtype=self.sharded.dtype,
+            )
+            completion = max(s.best for s in q.subs)
+            metrics.observe_completion(q.arrival, completion)
+            if obs_enabled():
+                obs_metrics.observe(
+                    "cluster.latency_seconds", max(completion - q.arrival, 0.0)
+                )
+            if self.cache is not None:
+                self.cache.put(
+                    (q.qid, q.k),
+                    idx,
+                    groups=tuple(s.shard for s in q.subs),
+                )
+            if results is not None:
+                results[q.seq] = idx
+
+        def _run_batch(replica: _Replica, t_start: float) -> None:
+            batch = replica.batcher.take()
+            alive = [dispatches[r.seq] for r in batch if not dispatches[r.seq].sub.query.dead]
+            if not alive:
+                return  # shed queries only: no work, no time
+            shard = replica.shard
+            index = self.sharded.indexes[shard]
+            qids = np.fromiter(
+                (d.sub.query.qid for d in alive), dtype=np.int64, count=len(alive)
+            )
+            kmax = max(d.sub.query.k for d in alive)
+            k_eff = min(kmax + 1, index.num_vectors)
+            with span("cluster.batch") as batch_sp:
+                t0 = time.perf_counter()
+                idx_local, sims = index.search(
+                    self.sharded.normed[qids], k_eff, normalized=True
+                )
+                measured = time.perf_counter() - t0
+                rows = getattr(index, "last_rows_scanned", 0)
+                if obs_enabled():
+                    batch_sp.set(shard=shard, size=len(alive), rows=rows)
+                    obs_metrics.inc("cluster.batches")
+                    obs_metrics.inc("cluster.rows_scanned", rows)
+                    obs_metrics.observe("cluster.batch_size", len(alive))
+            duration = (
+                measured
+                if self.service_model is None
+                else self.service_model(shard, replica.idx, len(alive), rows)
+            )
+            completion = t_start + duration
+            replica.busy_until = completion
+            shard_metrics[shard].batches += 1
+            shard_metrics[shard].rows_scanned += rows
+            shard_metrics[shard].service_time_total += duration
+            members = self.router.members(shard)
+            gids = np.where(idx_local >= 0, members[idx_local], -1)
+            data_ts = self.shard_loaded_at[shard]
+            for row, d in enumerate(alive):
+                sub = d.sub
+                sub.unserviced -= 1
+                if sub.best is None or completion < sub.best:
+                    sub.best = completion
+                    sub.winner_is_hedge = d.is_hedge
+                    sub.ids = gids[row]
+                    sub.sims = sims[row]
+                    sub.data_ts = data_ts
+                _settle(sub)
+
+        def _admit(qid: int, t: float, seq: int) -> None:
+            metrics.observe_arrival(t)
+            if self.cache is not None:
+                t0 = time.perf_counter()
+                hit = self.cache.get((qid, trace.k))
+                lookup = time.perf_counter() - t0
+                if hit is not None:
+                    metrics.cache_hits += 1
+                    cost = lookup if self.service_model is None else 0.0
+                    metrics.observe_completion(t, t + cost)
+                    if obs_enabled():
+                        obs_metrics.observe("cluster.latency_seconds", cost)
+                    if results is not None:
+                        results[seq] = hit
+                    return
+                metrics.cache_misses += 1
+            routed = self.router.route(
+                self.sharded.normed[[qid]],
+                cfg.fanout,
+                owners=np.array([self.router.owner(qid)])
+                if cfg.include_owner
+                else None,
+            )[0]
+            if obs_enabled():
+                obs_metrics.observe("cluster.fanout_width", routed.size)
+            stats["fanout_total"] += routed.size
+            stats["routed_queries"] += 1
+            q = _Query(qid, trace.k, seq, t)
+            for s in routed:
+                s = int(s)
+                group = by_shard[s]
+                pick = LeastOutstandingDispatcher.pick(
+                    [r.outstanding(t) for r in group]
+                )
+                sub = _SubQuery(q, s)
+                if not _enqueue(sub, group[pick], t, is_hedge=False):
+                    q.dead = True
+                    metrics.shed += 1
+                    return
+                q.subs.append(sub)
+                stats["subqueries"] += 1
+                if cfg.hedge and len(group) > 1:
+                    sub.hedge_pending = True
+                    heapq.heappush(
+                        hedge_heap,
+                        (
+                            t + policy.threshold(),
+                            len(dispatches) - 1,
+                            len(dispatches) - 1,
+                        ),
+                    )
+
+        def _settle(sub: _SubQuery) -> None:
+            """Resolve the sub (and maybe its query) exactly once."""
+            if sub.done or not sub.resolved:
+                return
+            sub.done = True
+            self._resolve_sub(sub, policy, shard_metrics[sub.shard], stats)
+            q = sub.query
+            if not q.dead and all(s.done for s in q.subs):
+                _finalize(q)
+
+        def _fire_hedge(t: float, d_idx: int) -> None:
+            primary = dispatches[d_idx]
+            sub = primary.sub
+            sub.hedge_pending = False
+            if sub.query.dead:
+                return
+            if sub.best is not None and sub.best <= t:
+                _settle(sub)  # answered before the trigger: no duplicate
+                return
+            group = by_shard[sub.shard]
+            others = [r for r in group if r is not primary.replica]
+            pick = LeastOutstandingDispatcher.pick(
+                [r.outstanding(t) for r in others]
+            )
+            if _enqueue(sub, others[pick], t, is_hedge=True):
+                stats["hedges"] += 1
+            else:
+                stats["hedge_dropped"] += 1
+                _settle(sub)
+
+        while True:
+            t_arr = float(arrivals[i]) if i < n else INF
+            t_batch, batch_replica = INF, None
+            for r in replicas:
+                if len(r.batcher):
+                    tr = r.batcher.ready_time(r.busy_until)
+                    if tr < t_batch:
+                        t_batch, batch_replica = tr, r
+            t_hedge = hedge_heap[0][0] if hedge_heap else INF
+            t_next = min(t_arr, t_batch, t_hedge)
+            if t_next == INF:
+                break
+            self._apply_upserts(t_next, stats)
+            # Tie priority: batch dispatch, then hedge trigger, then
+            # arrival — matching the single server's dispatch-wins rule.
+            if t_batch <= t_hedge and t_batch <= t_arr:
+                _run_batch(batch_replica, t_batch)
+            elif t_hedge <= t_arr:
+                _, _, d_idx = heapq.heappop(hedge_heap)
+                _fire_hedge(t_hedge, d_idx)
+            else:
+                _admit(int(ids[i]), t_arr, i)
+                i += 1
+        metrics.last_completion = max(
+            [metrics.last_completion] + [r.busy_until for r in replicas]
+        )
+        stats["mean_fanout"] = (
+            stats["fanout_total"] / stats["routed_queries"]
+            if stats["routed_queries"]
+            else 0.0
+        )
+        return ClusterReplay(
+            metrics=metrics,
+            shard_metrics=shard_metrics,
+            results=results,
+            stats=stats,
+        )
+
+    def _resolve_sub(
+        self,
+        sub: _SubQuery,
+        policy: HedgePolicy,
+        sm: ServingMetrics,
+        stats: dict[str, float],
+    ) -> None:
+        """Bookkeeping when a sub-query's fastest copy is known final."""
+        latency = max(sub.best - sub.query.arrival, 0.0)
+        policy.observe(latency)
+        sm.observe_completion(sub.query.arrival, sub.best)
+        staleness = max(sub.best - sub.data_ts, 0.0)
+        stats["max_staleness_s"] = max(stats["max_staleness_s"], staleness)
+        if sub.winner_is_hedge:
+            stats["hedge_wins"] += 1
+        if obs_enabled():
+            obs_metrics.observe(
+                f"cluster.shard.{sub.shard}.latency_seconds", latency
+            )
+            obs_metrics.observe("cluster.staleness_seconds", staleness)
+
+    def _apply_upserts(self, now: float, stats: dict[str, float]) -> None:
+        """Swap in every slab produced at or before virtual ``now``."""
+        if self.upserts is None:
+            return
+        for slab in self.upserts.pending(now):
+            self.sharded.replace_shard(slab.shard, slab.vertex_ids, slab.vectors)
+            if self.cache is not None:
+                self.cache.invalidate(group=slab.shard)
+            self.shard_loaded_at[slab.shard] = slab.produced_at
+            self.upserts_applied += 1
+            stats["upserts_applied"] += 1
+            lag = max(now - slab.produced_at, 0.0)
+            if obs_enabled():
+                obs_metrics.inc("cluster.upserts_applied")
+                obs_metrics.observe("cluster.upsert_lag_seconds", lag)

@@ -34,6 +34,7 @@ __all__ = [
     "ClusterIndex",
     "recall_at_k",
     "build_index",
+    "merge_topk",
 ]
 
 
@@ -79,6 +80,48 @@ def _topk_rows(sims: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
     order = np.argsort(-sims[row, idx], axis=1)
     idx = idx[row, order]
     return idx, sims[row, idx]
+
+
+def merge_topk(
+    candidate_ids,
+    candidate_sims,
+    k: int,
+    *,
+    exclude: int | None = None,
+    dtype=np.float64,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge per-shard candidate lists into one query's global top-``k``.
+
+    ``candidate_ids`` / ``candidate_sims`` are parallel sequences of 1-D
+    arrays (global vertex ids and their similarities, one pair per
+    shard). Padding entries (``id < 0``) and the optional ``exclude``
+    vertex are dropped. Because per-shard similarities are computed as
+    independent per-pair reductions (see :class:`BruteForceIndex`), the
+    merged ranking over a full fan-out is bit-identical to the unsharded
+    scan. Output is padded with ``-1`` / ``-inf`` when fewer than ``k``
+    candidates survive.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    idx_out = np.full(k, -1, dtype=np.int64)
+    sim_out = np.full(k, -np.inf, dtype=dtype)
+    if candidate_ids:
+        ids = np.concatenate([np.asarray(a).ravel() for a in candidate_ids])
+        sims = np.concatenate([np.asarray(a).ravel() for a in candidate_sims])
+    else:
+        ids = np.empty(0, dtype=np.int64)
+        sims = np.empty(0, dtype=dtype)
+    keep = ids >= 0
+    if exclude is not None:
+        keep &= ids != exclude
+    ids, sims = ids[keep], sims[keep]
+    if ids.size:
+        kk = min(k, ids.size)
+        top = np.argpartition(-sims, kth=kk - 1)[:kk]
+        top = top[np.argsort(-sims[top])]
+        idx_out[:kk] = ids[top]
+        sim_out[:kk] = sims[top]
+    return idx_out, sim_out
 
 
 def recall_at_k(approx_idx: np.ndarray, exact_idx: np.ndarray) -> float:

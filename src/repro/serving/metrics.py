@@ -6,9 +6,14 @@ samples and computes exact percentiles (linear interpolation, matching
 ``np.percentile``'s default), so the p50/p95/p99 columns are testable
 against the numpy oracle rather than approximations from fixed buckets.
 
-The histogram implementation now lives in :mod:`repro.obs.metrics` (the
+The histogram implementation lives in :mod:`repro.obs.metrics` (the
 cross-cutting observability layer grew out of it); it is re-exported
-here so the serving API is unchanged.
+here so the serving API is unchanged. Per-request latencies are also
+mirrored into the obs registry (``serve.latency_seconds`` for the
+single server, ``cluster.latency_seconds`` and
+``cluster.shard.<s>.latency_seconds`` for the cluster) so SLO rules and
+bench records read the same samples this report summarizes — there is
+exactly one histogram implementation in the repo.
 """
 
 from __future__ import annotations

@@ -32,7 +32,7 @@ from ..obs import is_enabled as obs_enabled
 from ..obs import metrics as obs_metrics
 from ..obs.trace import span
 from .batcher import MicroBatcher, Request
-from .cache import LRUCache
+from .cache import GenerationalCache
 from .index import BruteForceIndex, ClusterIndex, build_index
 from .metrics import ServingMetrics
 from .workload import QueryTrace
@@ -79,7 +79,7 @@ class EmbeddingServer:
         else:
             self.index = index
         self.cache = (
-            LRUCache(self.config.cache_capacity)
+            GenerationalCache(self.config.cache_capacity)
             if self.config.cache_capacity > 0
             else None
         )
@@ -142,6 +142,12 @@ class EmbeddingServer:
             obs_metrics.inc("serve.shed", replay.metrics.shed)
             obs_metrics.inc("serve.cache_hits", replay.metrics.cache_hits)
             obs_metrics.inc("serve.cache_misses", replay.metrics.cache_misses)
+            # Serving latency lives in the obs registry too (one sample
+            # per served request), so histogram-based SLO rules and
+            # BenchRecord.from_registry see the same distribution the
+            # ServingMetrics report summarizes.
+            for sample in replay.metrics.latency.samples:
+                obs_metrics.observe("serve.latency_seconds", sample)
         return replay
 
     def _serve_trace(

@@ -247,3 +247,112 @@ class TestAgainstRealServingReplay:
         )
         assert res.ok
         assert res.value == 0.0
+
+
+class TestClusterRules:
+    def _registry_with_shards(self, per_shard, staleness=()):
+        reg = MetricsRegistry()
+        for shard, samples in enumerate(per_shard):
+            hist = reg.histogram(f"cluster.shard.{shard}.latency_seconds")
+            for v in samples:
+                hist.record(v)
+        stale = reg.histogram("cluster.staleness_seconds")
+        for v in staleness:
+            stale.record(v)
+        return reg
+
+    def test_per_shard_p99_takes_the_worst_shard(self):
+        from repro.obs.slo import cluster_rules
+
+        reg = self._registry_with_shards(
+            per_shard=[[0.001] * 50, [0.001] * 49 + [0.2]],
+            staleness=[0.1],
+        )
+        rule = SLORule(
+            name="p", kind="per_shard_p99", params={"threshold": 0.1}
+        )
+        (res,) = evaluate([rule], SLOContext(registry=reg))
+        assert not res.ok
+        # Shard 1's outlier drags its interpolated p99 past the cap.
+        assert 0.1 < res.value < 0.2
+        assert "cluster.shard.1" in res.detail
+        # A generous threshold passes on the same registry.
+        ok_rule = SLORule(
+            name="p", kind="per_shard_p99", params={"threshold": 0.5}
+        )
+        (res,) = evaluate([ok_rule], SLOContext(registry=reg))
+        assert res.ok
+
+    def test_per_shard_p99_fails_closed_without_data(self):
+        rule = SLORule(
+            name="p", kind="per_shard_p99", params={"threshold": 1.0}
+        )
+        (res,) = evaluate([rule], SLOContext(registry=MetricsRegistry()))
+        assert not res.ok
+        assert "no histograms" in res.detail
+
+    def test_staleness_bound_gates_on_max(self):
+        reg = self._registry_with_shards(
+            per_shard=[], staleness=[0.1, 0.4, 0.2]
+        )
+        ok = SLORule(name="s", kind="staleness_bound", params={"bound": 0.5})
+        bad = SLORule(name="s", kind="staleness_bound", params={"bound": 0.3})
+        (res_ok,) = evaluate([ok], SLOContext(registry=reg))
+        (res_bad,) = evaluate([bad], SLOContext(registry=reg))
+        assert res_ok.ok and res_ok.value == pytest.approx(0.4)
+        assert not res_bad.ok
+
+    def test_staleness_bound_fails_closed_without_data(self):
+        rule = SLORule(name="s", kind="staleness_bound", params={"bound": 1.0})
+        (res,) = evaluate([rule], SLOContext(registry=MetricsRegistry()))
+        assert not res.ok
+
+    def test_cluster_rules_bundle(self):
+        from repro.obs.slo import cluster_rules
+
+        rules = cluster_rules(per_shard_p99=0.05, staleness_bound=2.0)
+        assert [r.name for r in rules] == [
+            "cluster-per-shard-p99",
+            "cluster-staleness-bound",
+        ]
+        reg = self._registry_with_shards(
+            per_shard=[[0.001] * 10, [0.002] * 10], staleness=[0.5, 1.0]
+        )
+        results = evaluate(rules, SLOContext(registry=reg))
+        assert all(r.ok for r in results)
+
+    def test_cluster_rules_against_real_cluster_replay(self):
+        """Evaluate the bundle against a live ClusterServer replay."""
+        import repro.obs as obs
+        from repro.obs import metrics as obs_metrics_mod
+        from repro.obs.slo import cluster_rules
+        from repro.serving.cluster import ClusterConfig, ClusterServer
+        from repro.serving.upsert import SlabUpsertProducer
+        from repro.serving.workload import zipf_trace
+
+        emb = np.random.default_rng(0).standard_normal((400, 8))
+        trace = zipf_trace(
+            200, 400, skew=1.1, rate=2000.0, k=5,
+            rng=np.random.default_rng(1),
+        )
+        with obs.enabled():
+            obs_metrics_mod.reset()
+            server = ClusterServer(
+                emb,
+                config=ClusterConfig(num_shards=3, replicas=2),
+                service_model=lambda s, r, b, rows: 1e-4,
+                rng=np.random.default_rng(2),
+            )
+            server.upserts = SlabUpsertProducer(
+                emb, server.sharded.assignment, interval=0.01, rounds=2,
+                seed=3,
+            )
+            server.serve_trace(trace)
+            results = evaluate(
+                cluster_rules(per_shard_p99=0.5, staleness_bound=5.0),
+                SLOContext(),
+            )
+        assert all(r.ok for r in results)
+        assert {r.kind for r in results} == {
+            "per_shard_p99", "staleness_bound",
+        }

@@ -1,0 +1,105 @@
+"""Property tests for the cluster's shard partition and exact fan-out.
+
+Two invariants the sharded serving layer stands on:
+
+1. ``partition_vertices`` is a *true partition* — every vertex lands in
+   exactly one shard, no vertex is dropped or duplicated;
+2. fanning out to every shard reproduces the unsharded
+   :class:`BruteForceIndex` top-k **bit-identically** (ids and
+   similarity scores) — sharding is a pure layout change, all
+   approximation comes from reducing the fan-out, never from the
+   merge.
+
+Embeddings are seeded Gaussians (continuous, so similarity ties have
+probability zero and the top-k selection is unambiguous).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving.cluster import ShardedIndex, partition_vertices
+from repro.serving.index import BruteForceIndex
+
+
+@st.composite
+def _cluster_cases(draw):
+    n = draw(st.integers(20, 300))
+    d = draw(st.integers(2, 24))
+    num_shards = draw(st.integers(1, 6))
+    seed = draw(st.integers(0, 2**31 - 1))
+    k = draw(st.integers(1, 15))
+    rng = np.random.default_rng(seed)
+    emb = rng.standard_normal((n, d))
+    return emb, num_shards, seed, k
+
+
+class TestPartitionIsTruePartition:
+    @given(case=_cluster_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_every_vertex_in_exactly_one_shard(self, case):
+        emb, num_shards, seed, _ = case
+        assignment = partition_vertices(
+            emb, num_shards=num_shards, rng=np.random.default_rng(seed)
+        )
+        n = emb.shape[0]
+        assert assignment.shape == (n,)
+        assert assignment.dtype == np.int64
+        assert assignment.min() >= 0
+        assert assignment.max() < num_shards
+        # Shard membership lists cover [0, n) exactly once.
+        sharded = ShardedIndex(emb, assignment)
+        members = np.concatenate(
+            [sharded.router.members(s) for s in range(sharded.num_shards)]
+        )
+        assert np.array_equal(np.sort(members), np.arange(n))
+        counts = np.bincount(assignment, minlength=num_shards)
+        assert counts.sum() == n
+
+    @given(case=_cluster_cases())
+    @settings(max_examples=25, deadline=None)
+    def test_partition_is_deterministic(self, case):
+        emb, num_shards, seed, _ = case
+        a = partition_vertices(
+            emb, num_shards=num_shards, rng=np.random.default_rng(seed)
+        )
+        b = partition_vertices(
+            emb, num_shards=num_shards, rng=np.random.default_rng(seed)
+        )
+        assert np.array_equal(a, b)
+
+
+class TestFullFanoutIsExact:
+    @given(case=_cluster_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_bit_identical_to_brute_force(self, case):
+        emb, num_shards, seed, k = case
+        assignment = partition_vertices(
+            emb, num_shards=num_shards, rng=np.random.default_rng(seed)
+        )
+        sharded = ShardedIndex(emb, assignment)
+        reference = BruteForceIndex(emb)
+        qids = np.arange(0, emb.shape[0], 3)
+        got_ids, got_sims = sharded.search_ids(
+            qids, k, fanout=sharded.num_shards
+        )
+        want_ids, want_sims = reference.search_ids(qids, k)
+        assert got_ids.dtype == want_ids.dtype
+        assert np.array_equal(got_ids, want_ids)
+        # Bit-identical scores, not merely allclose: the per-pair
+        # similarity recomputation makes sharding a pure layout change.
+        assert np.array_equal(got_sims, want_sims)
+
+    @given(case=_cluster_cases())
+    @settings(max_examples=25, deadline=None)
+    def test_self_never_returned(self, case):
+        emb, num_shards, seed, k = case
+        assignment = partition_vertices(
+            emb, num_shards=num_shards, rng=np.random.default_rng(seed)
+        )
+        sharded = ShardedIndex(emb, assignment)
+        qids = np.arange(emb.shape[0])
+        got_ids, _ = sharded.search_ids(qids, k, fanout=sharded.num_shards)
+        assert not np.any(got_ids == qids[:, None])

@@ -1,0 +1,131 @@
+"""Cluster routing policies: centroid router, dispatcher, hedge policy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving.index import l2_normalize_rows
+from repro.serving.router import (
+    CentroidRouter,
+    HedgePolicy,
+    LeastOutstandingDispatcher,
+)
+
+
+def _clustered(num_shards=3, per_shard=20, dim=8, seed=0):
+    """Well-separated clusters with a matching shard assignment."""
+    rng = np.random.default_rng(seed)
+    centers = 10.0 * rng.standard_normal((num_shards, dim))
+    rows = np.concatenate(
+        [c + 0.1 * rng.standard_normal((per_shard, dim)) for c in centers]
+    )
+    assignment = np.repeat(np.arange(num_shards), per_shard)
+    return l2_normalize_rows(rows), assignment
+
+
+class TestCentroidRouter:
+    def test_members_partition_vertices(self):
+        normed, assignment = _clustered()
+        router = CentroidRouter(normed, assignment)
+        all_members = np.concatenate(
+            [router.members(s) for s in range(router.num_shards)]
+        )
+        assert sorted(all_members.tolist()) == list(range(len(assignment)))
+        for s in range(router.num_shards):
+            assert np.all(assignment[router.members(s)] == s)
+
+    def test_routes_queries_to_their_own_cluster_first(self):
+        normed, assignment = _clustered()
+        router = CentroidRouter(normed, assignment)
+        routed = router.route(normed, fanout=1)
+        # Tight, well-separated clusters: the best centroid is the owner.
+        assert np.array_equal(routed[:, 0], assignment)
+
+    def test_fanout_orders_best_centroid_first(self):
+        normed, assignment = _clustered()
+        router = CentroidRouter(normed, assignment)
+        routed = router.route(normed, fanout=3)
+        # Every query sees all three shards exactly once, owner first.
+        for i, row in enumerate(routed):
+            assert sorted(row.tolist()) == [0, 1, 2]
+            assert row[0] == assignment[i]
+
+    def test_owner_forced_into_fanout_set(self):
+        normed, assignment = _clustered()
+        router = CentroidRouter(normed, assignment)
+        # Query shard 0's points but force shard 2 as the "owner".
+        owners = np.full(20, 2, dtype=np.int64)
+        routed = router.route(normed[:20], fanout=2, owners=owners)
+        assert np.all((routed == 2).any(axis=1))
+        # Without forcing, tight shard-0 queries would pick other shards.
+        assert np.all(routed[:, 0] == 0)
+
+    def test_empty_shards_never_routed(self):
+        normed, assignment = _clustered(num_shards=3)
+        assignment = np.where(assignment == 1, 0, assignment)  # empty shard 1
+        router = CentroidRouter(normed, assignment)
+        assert router.nonempty_shards == 2
+        routed = router.route(normed, fanout=3)
+        assert routed.shape[1] == 2  # clamped to non-empty count
+        assert not (routed == 1).any()
+
+    def test_refresh_centroid_changes_routing(self):
+        normed, assignment = _clustered(num_shards=2)
+        router = CentroidRouter(normed, assignment)
+        query = normed[:1]
+        assert router.route(query, fanout=1)[0, 0] == 0
+        # Move shard 1's centroid onto the query direction.
+        router.refresh_centroid(1, query)
+        assert router.route(query, fanout=1)[0, 0] == 1
+
+    def test_validation(self):
+        normed, assignment = _clustered()
+        with pytest.raises(ValueError):
+            CentroidRouter(normed, assignment[:-1])
+        with pytest.raises(ValueError):
+            CentroidRouter(normed, assignment - 1)
+
+
+class TestLeastOutstandingDispatcher:
+    def test_picks_minimum(self):
+        assert LeastOutstandingDispatcher.pick([3, 1, 2]) == 1
+
+    def test_tie_breaks_to_lowest_index(self):
+        assert LeastOutstandingDispatcher.pick([2, 1, 1]) == 1
+        assert LeastOutstandingDispatcher.pick([0, 0, 0]) == 0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            LeastOutstandingDispatcher.pick([])
+
+
+class TestHedgePolicy:
+    def test_fallback_until_min_samples(self):
+        policy = HedgePolicy(percentile=95.0, min_samples=4, fallback=0.5)
+        assert policy.threshold() == 0.5
+        for v in (0.1, 0.2, 0.3):
+            policy.observe(v)
+        assert policy.threshold() == 0.5  # 3 < min_samples
+
+    def test_percentile_after_min_samples(self):
+        policy = HedgePolicy(percentile=50.0, min_samples=4, fallback=9.0)
+        for v in (0.1, 0.2, 0.3, 0.4):
+            policy.observe(v)
+        assert len(policy) == 4
+        assert policy.threshold() == pytest.approx(
+            float(np.percentile([0.1, 0.2, 0.3, 0.4], 50.0))
+        )
+
+    def test_negative_latencies_clamped(self):
+        policy = HedgePolicy(min_samples=1)
+        policy.observe(-1.0)
+        assert policy.threshold() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HedgePolicy(percentile=0.0)
+        with pytest.raises(ValueError):
+            HedgePolicy(min_samples=0)
+        with pytest.raises(ValueError):
+            HedgePolicy(fallback=0.0)

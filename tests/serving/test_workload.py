@@ -72,3 +72,94 @@ class TestZipfTrace:
         with pytest.raises(ValueError):
             trace = zipf_trace(10, 10)
             trace.rescaled(0.0)
+
+
+class TestModulatedTrace:
+    def test_shapes_and_monotone_arrivals(self):
+        from repro.serving.workload import modulated_trace
+
+        trace = modulated_trace(
+            500,
+            100,
+            segments=((1.0, 100.0), (0.5, 1000.0)),
+            rng=np.random.default_rng(0),
+        )
+        assert len(trace) == 500
+        assert np.all(np.diff(trace.arrivals) >= 0.0)
+        assert trace.query_ids.min() >= 0 and trace.query_ids.max() < 100
+
+    def test_determinism(self):
+        from repro.serving.workload import modulated_trace
+
+        kwargs = dict(segments=((0.2, 500.0), (0.2, 50.0)))
+        a = modulated_trace(300, 40, rng=np.random.default_rng(3), **kwargs)
+        b = modulated_trace(300, 40, rng=np.random.default_rng(3), **kwargs)
+        assert np.array_equal(a.query_ids, b.query_ids)
+        assert np.array_equal(a.arrivals, b.arrivals)
+
+    def test_segment_rates_realized(self):
+        from repro.serving.workload import modulated_trace
+
+        trace = modulated_trace(
+            4000,
+            1000,
+            segments=((1.0, 200.0), (1.0, 2000.0)),
+            rng=np.random.default_rng(1),
+        )
+        cycle = 2.0
+        phase = np.mod(trace.arrivals, cycle)
+        slow = np.count_nonzero(phase < 1.0)
+        fast = np.count_nonzero(phase >= 1.0)
+        # 10x rate ratio should survive sampling noise by a wide margin.
+        assert fast > 5 * slow
+
+    def test_validation(self):
+        from repro.serving.workload import modulated_trace
+
+        with pytest.raises(ValueError):
+            modulated_trace(10, 10, segments=())
+        with pytest.raises(ValueError):
+            modulated_trace(10, 10, segments=((1.0, 0.0),))
+        with pytest.raises(ValueError):
+            modulated_trace(10, 10, segments=((0.0, 5.0),))
+
+
+class TestBurstyAndDiurnalTraces:
+    def test_bursty_bursts_are_denser(self):
+        from repro.serving.workload import bursty_trace
+
+        trace = bursty_trace(
+            3000,
+            500,
+            base_rate=200.0,
+            burst_rate=4000.0,
+            base_seconds=1.0,
+            burst_seconds=0.25,
+            rng=np.random.default_rng(2),
+        )
+        assert np.all(np.diff(trace.arrivals) >= 0.0)
+        phase = np.mod(trace.arrivals, 1.25)
+        base_count = np.count_nonzero(phase < 1.0)
+        burst_count = np.count_nonzero(phase >= 1.0)
+        base_rate = base_count / 1.0
+        burst_rate = burst_count / 0.25
+        assert burst_rate > 5 * base_rate
+
+    def test_diurnal_peak_beats_trough(self):
+        from repro.serving.workload import diurnal_trace
+
+        period = 10.0
+        trace = diurnal_trace(
+            4000,
+            500,
+            period=period,
+            low_rate=50.0,
+            high_rate=1500.0,
+            rng=np.random.default_rng(4),
+        )
+        assert np.all(np.diff(trace.arrivals) >= 0.0)
+        phase = np.mod(trace.arrivals, period) / period
+        # The sinusoid troughs at phase 0 and peaks at phase 0.5.
+        trough = np.count_nonzero((phase < 0.1) | (phase > 0.9))
+        peak = np.count_nonzero(np.abs(phase - 0.5) < 0.1)
+        assert peak > 3 * trough
