@@ -226,6 +226,8 @@ def _run_sampler_bench(args: argparse.Namespace, out: pathlib.Path | None) -> in
     from .experiments import samplerbench
     from .obs.record import BenchRecord
 
+    if args.family is not None:
+        return _run_sampler_zoo_bench(args, out)
     results = samplerbench.run(
         repeats=args.repeats,
         seed=args.seed,
@@ -261,6 +263,60 @@ def _run_sampler_bench(args: argparse.Namespace, out: pathlib.Path | None) -> in
     if args.min_speedup is not None and not results["meets_target"]:
         print(
             f"sampler-bench: speedup {results['speedup']:.2f}x below "
+            f"--min-speedup {args.min_speedup:.2f}x"
+        )
+        return 1
+    return 0
+
+
+def _run_sampler_zoo_bench(
+    args: argparse.Namespace, out: pathlib.Path | None
+) -> int:
+    """``sampler-bench --family ...``: the four-family zoo comparison.
+
+    ``--family all`` times every family in
+    :data:`repro.sampling.zoo.FAMILIES` (fast vs reference, interleaved)
+    at a shared budget; a single family name restricts the comparison.
+    Emits ``BENCH_sampler_zoo.json`` with per-(family, engine) wall-time
+    series plus each family's fast-engine throughput series for the
+    bench-record / bench-gate history tooling.
+    """
+    from .experiments import samplerbench
+    from .obs.record import BenchRecord
+    from .sampling.zoo import FAMILIES
+
+    families = FAMILIES if args.family == "all" else (args.family,)
+    results = samplerbench.run_zoo(
+        families=families,
+        repeats=args.repeats,
+        seed=args.seed,
+        min_speedup=(
+            args.min_speedup
+            if args.min_speedup is not None
+            else samplerbench.DEFAULT_ZOO_MIN_SPEEDUP
+        ),
+    )
+    _emit("sampler_zoo", samplerbench.format_zoo_results(results), out)
+    if out is not None:
+        record = BenchRecord(bench="sampler_zoo", env=_fingerprint(args))
+        for name, values in results["samples"].items():
+            if name.startswith("throughput."):
+                record.add_samples(
+                    name, values, unit="subgraphs/s", direction="higher"
+                )
+            else:
+                record.add_samples(name, values, unit="s", direction="lower")
+        path = write_bench_json(
+            out / "BENCH_sampler_zoo.json",
+            "sampler_zoo",
+            {k: v for k, v in results.items() if k != "samples"},
+            record=record,
+        )
+        print(f"[written to {path}]")
+    if args.min_speedup is not None and not results["meets_target"]:
+        worst = min(results["speedups"].values())
+        print(
+            f"sampler-bench: worst per-family speedup {worst:.2f}x below "
             f"--min-speedup {args.min_speedup:.2f}x"
         )
         return 1
@@ -326,6 +382,8 @@ def _run_train_bench(args: argparse.Namespace, out: pathlib.Path | None) -> None
         epochs=max(1, int(round(3 * args.epoch_scale))),
         seed=args.seed,
         sampler_engine=args.sampler_engine,
+        sampler_family=args.sampler_family,
+        loss_norm=args.loss_norm,
         prefetch_depth=args.prefetch_depth,
         prefetch_workers=args.prefetch_workers,
     )
@@ -593,7 +651,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--sampler-engine",
         choices=["fast", "reference"],
         default="fast",
-        help="train-bench: Dashboard sampler execution engine",
+        help="train-bench: sampler execution engine",
+    )
+    parser.add_argument(
+        "--sampler-family",
+        choices=["dashboard", "rw", "edge", "edge-indp"],
+        default="dashboard",
+        help="train-bench: subgraph sampler family",
+    )
+    parser.add_argument(
+        "--loss-norm",
+        choices=["none", "saint"],
+        default="none",
+        help="train-bench: GraphSAINT loss-normalization mode",
+    )
+    parser.add_argument(
+        "--family",
+        choices=["dashboard", "rw", "edge", "edge-indp", "all"],
+        default=None,
+        help="sampler-bench: run the sampler-zoo comparison for this "
+        "family ('all' = every family) instead of the Dashboard-only "
+        "throughput bench",
     )
     parser.add_argument(
         "--prefetch-depth",

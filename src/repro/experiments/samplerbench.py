@@ -24,14 +24,27 @@ import numpy as np
 
 from ..graphs.datasets import make_dataset
 from ..sampling.dashboard import ENGINES, DashboardFrontierSampler
+from ..sampling.zoo import FAMILIES, make_sampler
 from .common import EXPERIMENT_SCALES, format_table
 
-__all__ = ["run", "format_results", "DEFAULT_MIN_SPEEDUP"]
+__all__ = [
+    "run",
+    "run_zoo",
+    "format_results",
+    "format_zoo_results",
+    "DEFAULT_MIN_SPEEDUP",
+    "DEFAULT_ZOO_MIN_SPEEDUP",
+]
 
 #: The speedup the fast engine is expected to clear on this workload
 #: (asserted by ``benchmarks/bench_sampler_throughput.py`` and available
 #: to ``sampler-bench --min-speedup``).
 DEFAULT_MIN_SPEEDUP = 3.0
+
+#: Per-family fast-vs-reference target for the zoo comparison: every
+#: family must clear 2x (the dashboard clears far more; the cheap edge
+#: families have less scalar work to beat).
+DEFAULT_ZOO_MIN_SPEEDUP = 2.0
 
 
 def run(
@@ -123,6 +136,112 @@ def run(
     }
 
 
+def run_zoo(
+    *,
+    dataset: str = "reddit",
+    scale: float | None = None,
+    budget: int | None = None,
+    frontier_size: int | None = None,
+    families: tuple[str, ...] | None = None,
+    walk_depth: int = 3,
+    repeats: int = 12,
+    seed: int = 0,
+    min_speedup: float = DEFAULT_ZOO_MIN_SPEEDUP,
+) -> dict:
+    """Four-family sampler comparison: fast vs reference per family.
+
+    Same workload sizing as :func:`run` — Reddit profile, ``budget =
+    3n/4`` — with every family built at that shared budget through
+    :func:`repro.sampling.zoo.make_sampler`, so throughputs are
+    comparable at fixed subgraph size. Timing is interleaved across all
+    (family, engine) pairs per repeat so host drift hits every series
+    equally. ``meets_target`` requires *every* family's fast engine to
+    clear ``min_speedup``.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    fams = FAMILIES if families is None else tuple(families)
+    for fam in fams:
+        if fam not in FAMILIES:
+            raise ValueError(f"unknown family {fam!r}; choose from {FAMILIES}")
+    ds = make_dataset(
+        dataset,
+        scale=EXPERIMENT_SCALES[dataset] if scale is None else scale,
+        seed=seed,
+    )
+    graph = ds.graph
+    n = graph.num_vertices
+    if budget is None:
+        budget = max(min(3 * n // 4, 1750), 64)
+    if frontier_size is None:
+        frontier_size = max(budget // 6, 16)
+
+    samplers = {
+        (fam, engine): make_sampler(
+            fam,
+            graph,
+            budget=budget,
+            frontier_size=frontier_size,
+            engine=engine,
+            walk_depth=walk_depth,
+        )
+        for fam in fams
+        for engine in ENGINES
+    }
+    rngs = {key: np.random.default_rng(seed) for key in samplers}
+    for key, sampler in samplers.items():
+        sampler.sample(rngs[key])  # warmup: allocators, caches
+
+    wall: dict[tuple[str, str], list[float]] = {key: [] for key in samplers}
+    stats: dict[tuple[str, str], dict] = {}
+    for _ in range(repeats):
+        for key, sampler in samplers.items():
+            t0 = time.perf_counter()
+            sub = sampler.sample(rngs[key])
+            wall[key].append(time.perf_counter() - t0)
+            stats[key] = sub.stats
+
+    rows = []
+    speedups: dict[str, float] = {}
+    samples: dict[str, list[float]] = {}
+    for fam in fams:
+        med = {}
+        for engine in ENGINES:
+            times = np.asarray(wall[(fam, engine)])
+            med[engine] = float(np.median(times))
+            samples[f"sample_wall_s.{fam}.{engine}"] = wall[(fam, engine)]
+        samples[f"throughput.{fam}.fast"] = [
+            1.0 / t for t in wall[(fam, "fast")]
+        ]
+        speedups[fam] = med["reference"] / med["fast"]
+        rows.append(
+            {
+                "family": fam,
+                "fast_median_ms": med["fast"] * 1e3,
+                "reference_median_ms": med["reference"] * 1e3,
+                "subgraphs_per_sec": 1.0 / med["fast"],
+                "unique_vertices": stats[(fam, "fast")]["unique_vertices"],
+                "speedup": speedups[fam],
+            }
+        )
+    return {
+        "dataset": dataset,
+        "num_vertices": n,
+        "budget": budget,
+        "frontier_size": frontier_size,
+        "walk_depth": walk_depth,
+        "families": list(fams),
+        "repeats": repeats,
+        "rows": rows,
+        "speedups": speedups,
+        "min_speedup": min_speedup,
+        "meets_target": bool(
+            all(s >= min_speedup for s in speedups.values())
+        ),
+        "samples": samples,
+    }
+
+
 def format_results(results: dict) -> str:
     """Render the per-engine table plus the speedup verdict line."""
     table = format_table(
@@ -136,6 +255,24 @@ def format_results(results: dict) -> str:
     verdict = (
         f"fast vs reference speedup: {results['speedup']:.2f}x "
         f"(target >= {results['min_speedup']:.1f}x, "
+        f"{'met' if results['meets_target'] else 'NOT met'})"
+    )
+    return f"{table}\n\n{verdict}"
+
+
+def format_zoo_results(results: dict) -> str:
+    """Render the per-family comparison table plus the verdict line."""
+    table = format_table(
+        results["rows"],
+        title=(
+            f"sampler zoo — {results['dataset']} "
+            f"(n={results['num_vertices']}, budget={results['budget']})"
+        ),
+    )
+    worst = min(results["speedups"].values())
+    verdict = (
+        f"per-family fast vs reference speedup: worst {worst:.2f}x "
+        f"(target >= {results['min_speedup']:.1f}x for every family, "
         f"{'met' if results['meets_target'] else 'NOT met'})"
     )
     return f"{table}\n\n{verdict}"

@@ -10,6 +10,14 @@ Two losses cover the paper's tasks:
 Both return the mean loss over vertices and the gradient with respect to
 the logits scaled the same way (so gradient magnitudes are independent of
 batch size, as in the TF reference implementations).
+
+Both also accept optional per-row ``weights`` — the GraphSAINT loss
+normalization (:mod:`repro.sampling.norm`): with weights
+``lambda_v = 1/(n p_v)`` the loss becomes the *weighted sum*
+``sum_v lambda_v L_v`` (no batch mean — the weights already carry the
+``1/n`` scale and sum to ~1 in expectation over subgraphs), an unbiased
+estimator of the full-graph mean loss; gradients are scaled row-wise the
+same way. ``weights=None`` is exactly the historical unweighted mean.
 """
 
 from __future__ import annotations
@@ -27,11 +35,28 @@ def _loss_dtype(logits: np.ndarray) -> np.dtype:
     return logits.dtype if logits.dtype.kind == "f" else np.dtype(np.float64)
 
 
+def _check_weights(weights: np.ndarray, batch: int, dtype: np.dtype) -> np.ndarray:
+    """Validate per-row loss weights and cast to the computation dtype."""
+    w = np.asarray(weights, dtype=dtype)
+    if w.ndim != 1 or w.shape[0] != batch:
+        raise ValueError(f"weights must be 1-D of length {batch}, got {w.shape}")
+    return w
+
+
 class SoftmaxCrossEntropy:
     """Mean softmax cross-entropy over rows; targets are int class ids."""
 
-    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
-        """Mean negative log-likelihood of the target classes."""
+    def forward(
+        self,
+        logits: np.ndarray,
+        targets: np.ndarray,
+        weights: np.ndarray | None = None,
+    ) -> float:
+        """Mean negative log-likelihood of the target classes.
+
+        With ``weights``, the weighted *sum* of per-row NLLs instead (the
+        GraphSAINT unbiased-loss estimator; see module docstring).
+        """
         if logits.ndim != 2:
             raise ValueError("logits must be (batch, classes)")
         targets = np.asarray(targets)
@@ -41,14 +66,26 @@ class SoftmaxCrossEntropy:
         log_z = np.log(np.exp(shifted).sum(axis=1))
         batch = np.arange(logits.shape[0])
         nll = log_z - shifted[batch, targets]
-        return float(nll.mean())
+        if weights is None:
+            return float(nll.mean())
+        w = _check_weights(weights, logits.shape[0], _loss_dtype(logits))
+        return float((w * nll).sum())
 
-    def backward(self, logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
-        """d(mean loss)/d(logits) = (softmax - onehot) / batch."""
+    def backward(
+        self,
+        logits: np.ndarray,
+        targets: np.ndarray,
+        weights: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """d(loss)/d(logits): ``(softmax - onehot) / batch`` unweighted,
+        row-scaled by the weights (no batch division) when weighted."""
         p = softmax(logits, axis=1)
         batch = np.arange(logits.shape[0])
         p[batch, np.asarray(targets)] -= 1.0
-        return p / logits.shape[0]
+        if weights is None:
+            return p / logits.shape[0]
+        w = _check_weights(weights, logits.shape[0], _loss_dtype(logits))
+        return p * w[:, None]
 
     def predict(self, logits: np.ndarray) -> np.ndarray:
         """Hard class predictions (argmax)."""
@@ -61,8 +98,17 @@ class SigmoidCrossEntropy:
     Targets are a 0/1 matrix of the same shape as the logits.
     """
 
-    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
-        """Mean over rows of summed per-class logistic cross-entropy."""
+    def forward(
+        self,
+        logits: np.ndarray,
+        targets: np.ndarray,
+        weights: np.ndarray | None = None,
+    ) -> float:
+        """Mean over rows of summed per-class logistic cross-entropy.
+
+        With ``weights``, the weighted *sum* over rows instead (the
+        GraphSAINT unbiased-loss estimator; see module docstring).
+        """
         targets = np.asarray(targets, dtype=_loss_dtype(logits))
         if targets.shape != logits.shape:
             raise ValueError(
@@ -73,12 +119,26 @@ class SigmoidCrossEntropy:
             - logits * targets
             + np.log1p(np.exp(-np.abs(logits)))
         )
-        return float(per_elem.sum(axis=1).mean())
+        per_row = per_elem.sum(axis=1)
+        if weights is None:
+            return float(per_row.mean())
+        w = _check_weights(weights, logits.shape[0], _loss_dtype(logits))
+        return float((w * per_row).sum())
 
-    def backward(self, logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
-        """d(mean loss)/d(logits) = (sigmoid(x) - y) / batch."""
+    def backward(
+        self,
+        logits: np.ndarray,
+        targets: np.ndarray,
+        weights: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """d(loss)/d(logits): ``(sigmoid(x) - y) / batch`` unweighted,
+        row-scaled by the weights (no batch division) when weighted."""
         targets = np.asarray(targets, dtype=_loss_dtype(logits))
-        return (sigmoid(logits) - targets) / logits.shape[0]
+        grad = sigmoid(logits) - targets
+        if weights is None:
+            return grad / logits.shape[0]
+        w = _check_weights(weights, logits.shape[0], _loss_dtype(logits))
+        return grad * w[:, None]
 
     def predict(self, logits: np.ndarray) -> np.ndarray:
         """Per-class hard predictions (threshold at probability 0.5)."""

@@ -1,4 +1,6 @@
-"""Graph samplers: frontier (serial + Dashboard), scheduler, extensions."""
+"""Graph samplers: frontier (serial + Dashboard), the GraphSAINT zoo
+(random-walk / edge / independent-edge with normalization coefficients),
+scheduler, prefetch pipeline, extensions."""
 
 from .alias import AliasTable, dynamic_sampling_cost
 from .base import GraphSampler, SampledSubgraph
@@ -17,6 +19,8 @@ from .cost import (
     theorem1_speedup_bound,
 )
 from .dashboard import ENGINES, Dashboard, DashboardFrontierSampler
+from .edge import DegreeWeightedEdgeSampler
+from .edge_indp import IndependentEdgeSampler
 from .extra import (
     ForestFireSampler,
     MetropolisHastingsWalkSampler,
@@ -39,7 +43,17 @@ from .parallel_sim import (
     simulate_replay,
 )
 from .frontier import FrontierSampler
+from .norm import (
+    NormCoefficients,
+    edge_draw_coefficients,
+    edge_sampling_weights,
+    empirical_coefficients,
+    independent_edge_coefficients,
+    loss_weights_from_probs,
+)
+from .rw import RandomWalkBatchSampler
 from .scheduler import PoolFill, SubgraphPool
+from .zoo import FAMILIES, make_sampler, norm_coefficients
 
 __all__ = [
     "GraphSampler",
@@ -57,6 +71,18 @@ __all__ = [
     "FrontierSampler",
     "Dashboard",
     "DashboardFrontierSampler",
+    "RandomWalkBatchSampler",
+    "DegreeWeightedEdgeSampler",
+    "IndependentEdgeSampler",
+    "FAMILIES",
+    "make_sampler",
+    "norm_coefficients",
+    "NormCoefficients",
+    "edge_sampling_weights",
+    "edge_draw_coefficients",
+    "independent_edge_coefficients",
+    "empirical_coefficients",
+    "loss_weights_from_probs",
     "SubgraphPool",
     "PoolFill",
     "RandomNodeSampler",

@@ -120,7 +120,7 @@ class SubgraphPrefetcher:
         self.depth = depth
         self.workers = workers
         self.stats = PrefetchStats()
-        self._seeds = np.random.SeedSequence(seed)
+        self._seed = seed
         self._slots: collections.deque[_Slot] = collections.deque()
         self._executor: Executor
         if workers == 1:
@@ -140,8 +140,18 @@ class SubgraphPrefetcher:
             self._enqueue()
 
     # -- producers -----------------------------------------------------
-    def _next_entropy(self) -> int:
-        (child,) = self._seeds.spawn(1)
+    def _entropy_at(self, index: int) -> int:
+        """Entropy of submission ``index`` — stateless, order-independent.
+
+        ``SeedSequence(seed, spawn_key=(index,))`` is bit-identical to the
+        ``index``-th child of sequential ``SeedSequence(seed).spawn()``
+        (numpy's documented spawn-key construction), but depends only on
+        ``(seed, index)``: no shared mutable spawn counter, so two
+        prefetchers over different sampler families can never perturb
+        each other's streams, and submission ``i`` of a given config
+        draws the same subgraph in every process, forever.
+        """
+        child = np.random.SeedSequence(self._seed, spawn_key=(index,))
         return int(child.generate_state(1)[0])
 
     def _submit_inline(self, entropy: int) -> Future:
@@ -153,7 +163,8 @@ class SubgraphPrefetcher:
         return self._executor.submit(_sample_one, entropy)
 
     def _enqueue(self) -> None:
-        self._slots.append(_Slot(self._submit(self._next_entropy())))
+        entropy = self._entropy_at(self.stats.submitted)
+        self._slots.append(_Slot(self._submit(entropy)))
         self.stats.submitted += 1
 
     # -- consumer ------------------------------------------------------

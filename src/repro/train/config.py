@@ -8,8 +8,14 @@ from ..kernels.backends import get_backend
 from ..kernels.policy import resolve_policy
 from ..parallel.machine import MachineSpec, xeon_40core
 from ..sampling.dashboard import ENGINES
+from ..sampling.zoo import FAMILIES
 
-__all__ = ["TrainConfig"]
+__all__ = ["TrainConfig", "LOSS_NORMS"]
+
+#: Loss-normalization modes: ``"none"`` (plain batch mean, the seed
+#: behavior) or ``"saint"`` (GraphSAINT ``1/(n p_v)`` weights from
+#: :mod:`repro.sampling.norm`).
+LOSS_NORMS = ("none", "saint")
 
 
 @dataclass(frozen=True)
@@ -37,9 +43,28 @@ class TrainConfig:
         Kernel-registry SpMM backend for feature propagation
         (``"scipy"`` or ``"numpy"``).
     sampler_engine:
-        Dashboard sampler execution engine: ``"fast"`` (vectorized
-        round-based) or ``"reference"`` (scalar oracle); see
-        :mod:`repro.sampling.dashboard`.
+        Sampler execution engine: ``"fast"`` (vectorized) or
+        ``"reference"`` (scalar oracle); forwarded to whichever sampler
+        family is selected (see :mod:`repro.sampling.dashboard` and the
+        zoo modules).
+    sampler_family:
+        Which subgraph sampler the trainer builds
+        (:data:`repro.sampling.zoo.FAMILIES`): ``"dashboard"`` (the
+        paper's frontier sampler, default), ``"rw"``, ``"edge"`` or
+        ``"edge-indp"``. The configured ``budget`` is mapped onto each
+        family's native parameter by
+        :func:`repro.sampling.zoo.make_sampler`.
+    walk_depth:
+        Random-walk depth ``h`` (``sampler_family="rw"`` only).
+    loss_norm:
+        ``"none"`` (plain batch-mean loss, the seed behavior) or
+        ``"saint"`` — apply the GraphSAINT loss-normalization weights
+        ``lambda_v = 1/(n p_v)`` so every sampler family's minibatch
+        loss is an unbiased full-graph estimate.
+    norm_subgraphs:
+        Pre-sampling passes used to estimate empirical inclusion
+        probabilities when ``loss_norm="saint"`` and the family has no
+        closed form (dashboard, rw).
     prefetch_depth:
         When > 0, subgraphs are sampled ahead of the trainer through
         :class:`repro.sampling.pipeline.PrefetchingSubgraphPool` with
@@ -77,6 +102,10 @@ class TrainConfig:
     dtype_policy: str = "reference"
     spmm_backend: str = "scipy"
     sampler_engine: str = "fast"
+    sampler_family: str = "dashboard"
+    walk_depth: int = 3
+    loss_norm: str = "none"
+    norm_subgraphs: int = 24
     prefetch_depth: int = 0
     prefetch_workers: int = 1
     machine: MachineSpec = field(default_factory=xeon_40core)
@@ -105,3 +134,16 @@ class TrainConfig:
                 f"sampler_engine must be one of {ENGINES}, "
                 f"got {self.sampler_engine!r}"
             )
+        if self.sampler_family not in FAMILIES:
+            raise ValueError(
+                f"sampler_family must be one of {FAMILIES}, "
+                f"got {self.sampler_family!r}"
+            )
+        if self.walk_depth < 1:
+            raise ValueError("walk_depth must be >= 1")
+        if self.loss_norm not in LOSS_NORMS:
+            raise ValueError(
+                f"loss_norm must be one of {LOSS_NORMS}, got {self.loss_norm!r}"
+            )
+        if self.norm_subgraphs < 1:
+            raise ValueError("norm_subgraphs must be >= 1")

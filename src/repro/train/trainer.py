@@ -39,7 +39,7 @@ from ..nn.network import GCN
 from ..nn.optim import Adam
 from ..parallel.trace import ExecutionTrace
 from ..propagation.feature_prop import PartitionedPropagator
-from ..sampling.dashboard import DashboardFrontierSampler
+from ..sampling.zoo import make_sampler, norm_coefficients
 from ..sampling.pipeline import PrefetchingSubgraphPool
 from ..sampling.scheduler import SubgraphPool
 from .config import TrainConfig
@@ -154,15 +154,34 @@ class GraphSamplingTrainer:
         if sampler is not None:
             self.sampler = sampler
         else:
-            self.sampler = DashboardFrontierSampler(
+            # The zoo factory: config.sampler_family selects the sampler,
+            # the shared budget is mapped onto each family's native knob
+            # (the default "dashboard" path builds exactly the frontier
+            # sampler this constructor always built).
+            self.sampler = make_sampler(
+                config.sampler_family,
                 self.train_graph,
-                frontier_size=frontier,
                 budget=budget,
+                frontier_size=frontier,
+                engine=config.sampler_engine,
                 eta=config.eta,
                 max_entries_per_vertex=config.max_entries_per_vertex,
                 vector_lanes=config.machine.vector_lanes,
-                engine=config.sampler_engine,
+                walk_depth=config.walk_depth,
             )
+        # GraphSAINT loss normalization: per-vertex weights 1/(n p_v)
+        # (closed-form for the edge families, empirical pre-sampling
+        # otherwise) make each family's minibatch loss an unbiased
+        # full-graph estimate, so the families train to comparable F1.
+        self.norm = None
+        self._loss_weights = None
+        if config.loss_norm == "saint":
+            self.norm = norm_coefficients(
+                self.sampler,
+                num_subgraphs=config.norm_subgraphs,
+                seed=config.seed,
+            )
+            self._loss_weights = self.norm.loss_weight
         if config.prefetch_depth > 0:
             # Sampler-ahead pipeline: subgraphs are produced in the
             # background while the trainer computes (real overlap), and
@@ -254,6 +273,11 @@ class GraphSamplingTrainer:
                 )
                 feats = self.train_features[subgraph.vertex_map]
                 labels = self.train_labels[subgraph.vertex_map]
+                loss_w = (
+                    self._loss_weights[subgraph.vertex_map]
+                    if self._loss_weights is not None
+                    else None
+                )
             result.trace.record(PHASE_SAMPLING, samp_time, iteration)
 
             self.model.zero_grad()
@@ -264,9 +288,11 @@ class GraphSamplingTrainer:
             with accounting.capture() as kernel_costs:
                 with span("trainer.forward"):
                     logits = self.model.forward(feats, propagator, train=True)
-                    batch_loss = self.loss.forward(logits, labels)
+                    batch_loss = self.loss.forward(logits, labels, loss_w)
                 with span("trainer.backward"):
-                    self.model.backward(self.loss.backward(logits, labels))
+                    self.model.backward(
+                        self.loss.backward(logits, labels, loss_w)
+                    )
                     self.optimizer.step(self.model.parameter_groups())
 
             gemm_flops = kernel_costs.gemm_flops

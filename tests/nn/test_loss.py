@@ -100,6 +100,85 @@ class TestSigmoidCrossEntropy:
             loss.forward(np.zeros((3, 2)), np.zeros((3, 4)))
 
 
+class TestWeightedLosses:
+    """The GraphSAINT loss-normalization path: per-row weights."""
+
+    def test_softmax_weighted_forward_manual(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.standard_normal((6, 5))
+        targets = rng.integers(0, 5, size=6)
+        w = rng.random(6)
+        # Per-row NLLs extracted via one-row calls to the unweighted mean.
+        rows = np.array(
+            [loss.forward(logits[i : i + 1], targets[i : i + 1]) for i in range(6)]
+        )
+        assert loss.forward(logits, targets, w) == pytest.approx((w * rows).sum())
+
+    def test_sigmoid_weighted_forward_manual(self, rng):
+        loss = SigmoidCrossEntropy()
+        logits = rng.standard_normal((5, 7))
+        targets = (rng.random((5, 7)) < 0.3).astype(np.float64)
+        w = rng.random(5)
+        rows = np.array(
+            [loss.forward(logits[i : i + 1], targets[i : i + 1]) for i in range(5)]
+        )
+        assert loss.forward(logits, targets, w) == pytest.approx((w * rows).sum())
+
+    @pytest.mark.parametrize("kind", ["softmax", "sigmoid"])
+    def test_weighted_gradient_matches_numeric(self, kind, rng):
+        if kind == "softmax":
+            loss = SoftmaxCrossEntropy()
+            logits = rng.standard_normal((6, 5))
+            targets = rng.integers(0, 5, size=6)
+        else:
+            loss = SigmoidCrossEntropy()
+            logits = rng.standard_normal((6, 4))
+            targets = (rng.random((6, 4)) < 0.4).astype(np.float64)
+        w = rng.random(6) + 0.1
+        analytic = loss.backward(logits, targets, w)
+        idx, numeric = numerical_gradient(
+            lambda: loss.forward(logits, targets, w), logits, sample=15, rng=rng
+        )
+        assert max_relative_error(analytic.reshape(-1)[idx], numeric) < 1e-5
+
+    @pytest.mark.parametrize("kind", ["softmax", "sigmoid"])
+    def test_uniform_weights_equal_mean(self, kind, rng):
+        """Weights of 1/batch reproduce the unweighted mean exactly."""
+        if kind == "softmax":
+            loss = SoftmaxCrossEntropy()
+            logits = rng.standard_normal((8, 3))
+            targets = rng.integers(0, 3, size=8)
+        else:
+            loss = SigmoidCrossEntropy()
+            logits = rng.standard_normal((8, 3))
+            targets = (rng.random((8, 3)) < 0.5).astype(np.float64)
+        w = np.full(8, 1.0 / 8)
+        assert loss.forward(logits, targets, w) == pytest.approx(
+            loss.forward(logits, targets)
+        )
+        assert np.allclose(
+            loss.backward(logits, targets, w), loss.backward(logits, targets)
+        )
+
+    def test_weighted_preserves_float32(self, rng):
+        """float32 logits stay float32 through float64 weights (fast policy)."""
+        loss = SigmoidCrossEntropy()
+        logits = rng.standard_normal((4, 3)).astype(np.float32)
+        targets = (rng.random((4, 3)) < 0.5).astype(np.float64)
+        w = rng.random(4)  # float64 on purpose
+        grad = loss.backward(logits, targets, w)
+        assert grad.dtype == np.float32
+
+    def test_weight_shape_validation(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.zeros((3, 2))
+        targets = np.zeros(3, dtype=int)
+        with pytest.raises(ValueError):
+            loss.forward(logits, targets, np.ones(4))
+        with pytest.raises(ValueError):
+            loss.backward(logits, targets, np.ones((3, 1)))
+
+
 class TestMakeLoss:
     def test_factory(self):
         assert isinstance(make_loss("single"), SoftmaxCrossEntropy)

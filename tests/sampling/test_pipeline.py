@@ -103,6 +103,77 @@ class TestSubgraphPrefetcher:
             assert np.array_equal(x, y)
 
 
+class TestCrossFamilySeeding:
+    """The ISSUE-7 seeding audit: adding sampler families must not shift
+    any existing config's subgraph stream.
+
+    Entropy is a pure function of ``(seed, submission_index)``
+    (``SeedSequence(seed, spawn_key=(i,))``), so prefetchers never share
+    spawn state: interleaving prefetchers of *other* families — created
+    before, after, or between gets — cannot perturb a family's draws."""
+
+    def test_entropy_is_stateless(self, sampler):
+        with SubgraphPrefetcher(sampler, depth=1, seed=13) as pf:
+            # Entropy depends only on (seed, index): recomputing any index
+            # gives the same value, in any order.
+            values = [pf._entropy_at(i) for i in (3, 0, 3, 1, 0)]
+            assert values[0] == values[2]
+            assert values[1] == values[4]
+            expected = [
+                int(
+                    np.random.SeedSequence(13, spawn_key=(i,)).generate_state(1)[0]
+                )
+                for i in (3, 0, 3, 1, 0)
+            ]
+            assert values == expected
+
+    def test_interleaved_families_do_not_shift_seeds(self, medium_graph):
+        """A dashboard prefetcher's stream is identical whether it runs
+        alone or interleaved with prefetchers of every other family at
+        the same seed."""
+        from repro.sampling.zoo import FAMILIES, make_sampler
+
+        def dashboard():
+            return make_sampler("dashboard", medium_graph, budget=100)
+
+        with SubgraphPrefetcher(dashboard(), depth=2, seed=21) as pf:
+            solo = [pf.get().vertex_map.copy() for _ in range(4)]
+
+        others = [
+            SubgraphPrefetcher(
+                make_sampler(fam, medium_graph, budget=100),
+                depth=2,
+                seed=21,
+            )
+            for fam in FAMILIES
+            if fam != "dashboard"
+        ]
+        try:
+            with SubgraphPrefetcher(dashboard(), depth=2, seed=21) as pf:
+                interleaved = []
+                for other in others:
+                    other.get()  # concurrent same-seed activity
+                    interleaved.append(pf.get().vertex_map.copy())
+                interleaved.append(pf.get().vertex_map.copy())
+        finally:
+            for other in others:
+                other.close()
+        for a, b in zip(solo, interleaved):
+            assert np.array_equal(a, b)
+
+    def test_all_families_deterministic_through_prefetcher(self, medium_graph):
+        from repro.sampling.zoo import FAMILIES, make_sampler
+
+        for fam in FAMILIES:
+            def collect():
+                s = make_sampler(fam, medium_graph, budget=100)
+                with SubgraphPrefetcher(s, depth=2, seed=8) as pf:
+                    return [pf.get().vertex_map.copy() for _ in range(3)]
+
+            for a, b in zip(collect(), collect()):
+                assert np.array_equal(a, b)
+
+
 class TestPrefetchingSubgraphPool:
     def test_pool_contract(self, sampler, machine=None):
         from repro.parallel.machine import MachineSpec

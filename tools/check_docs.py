@@ -32,6 +32,7 @@ DOC_FILES = (
     "docs/architecture.md",
     "docs/observability.md",
     "docs/paper_mapping.md",
+    "docs/sampling.md",
 )
 
 _LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
