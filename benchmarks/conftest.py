@@ -139,6 +139,7 @@ def pytest_sessionfinish(session, exitstatus):
     go into the bench record so the gate has distributions to test.
     """
     policy_payload = getattr(session.config, "_kernel_policy_bench", None)
+    autotune_payload = getattr(session.config, "_kernel_autotune_bench", None)
     bench_session = getattr(session.config, "_benchmarksession", None)
     rows = []
     samples: dict[str, list[float]] = {}
@@ -163,9 +164,23 @@ def pytest_sessionfinish(session, exitstatus):
                 samples[f"{bench.name}_s"] = raw
         except (AttributeError, TypeError):
             continue
-    if rows or policy_payload:
+    if autotune_payload:
+        # Per-repeat fast/auto wall series from the plan-dispatch bench:
+        # all seconds, lower-is-better, same as the microbench rounds.
+        for metric, values in (autotune_payload.get("samples") or {}).items():
+            samples[metric] = [float(v) for v in values]
+    if rows or policy_payload or autotune_payload:
         BenchReporter(RESULTS_DIR).write_results(
             "kernels",
-            {"microbench": rows, "dtype_policy": policy_payload},
+            {
+                "microbench": rows,
+                "dtype_policy": policy_payload,
+                "plan_dispatch": {
+                    k: v
+                    for k, v in (autotune_payload or {}).items()
+                    if k != "samples"
+                }
+                or None,
+            },
             samples=samples or None,
         )

@@ -1,0 +1,200 @@
+"""Autotuned vs static kernel dispatch microbenchmark.
+
+Times a small set of shape classes drawn from the repo's real hot paths
+— the serving index's tall-skinny similarity GEMM (transient results),
+the trainer's ``out=``-buffered weight-application GEMM, and the
+propagation SpMM — under the static ``"fast"`` plan mode and again under
+``"auto"`` (per-class plans tuned at first use, tuning excluded from the
+timed region). The per-repeat wall series feed ``BENCH_kernels.json``
+so bench-record / bench-gate can track dispatch performance like any
+other series, and the acceptance criterion is explicit: autotuning must
+beat static dispatch by ``min_speedup`` on at least one shape class.
+
+Repeats interleave the two modes (fast, auto, fast, auto, ...) so slow
+drift in machine load hits both series equally — same discipline as
+:mod:`repro.experiments.samplerbench`.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import numpy as np
+
+from ..graphs.generators import chung_lu_graph
+from ..kernels import autotune
+from ..kernels import ops as kernel_ops
+from .common import format_table
+
+__all__ = [
+    "DEFAULT_MIN_SPEEDUP",
+    "BENCH_SHAPES",
+    "WARM_SHAPES",
+    "run",
+    "warm",
+    "format_results",
+]
+
+#: Acceptance floor: autotuned dispatch must beat static fast dispatch
+#: by at least this factor on at least one shape class.
+DEFAULT_MIN_SPEEDUP = 1.1
+
+
+def _make_gemm(m: int, k: int, n: int, seed: int, *, transient: bool):
+    """Returns ``(workload, class_key)`` for one dense shape class."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, k)).astype(np.float32)
+    b = rng.standard_normal((k, n)).astype(np.float32)
+    if transient:
+        sc = autotune.ShapeClass.for_gemm(m, k, n, a.dtype, variant="transient")
+        return (lambda: kernel_ops.gemm(a, b, transient=True)), sc.key
+    out = np.empty((m, n), dtype=np.float32)
+    sc = autotune.ShapeClass.for_gemm(m, k, n, a.dtype, variant="out")
+    return (lambda: kernel_ops.gemm(a, b, out=out)), sc.key
+
+
+def _make_spmm(vertices: int, avg_degree: float, cols: int, seed: int):
+    """Returns ``(workload, class_key)`` for one sparse shape class."""
+    rng = np.random.default_rng(seed)
+    graph = chung_lu_graph(vertices, avg_degree, rng=rng)
+    x = rng.standard_normal((graph.num_vertices, cols)).astype(np.float32)
+    sc = autotune.ShapeClass.for_spmm(
+        graph.num_vertices, graph.num_edges_directed, cols, x.dtype
+    )
+    return (lambda: kernel_ops.spmm(graph, x)), sc.key
+
+
+#: The benched shape classes: (name, factory(seed) -> zero-arg workload).
+#: gemm_tall_skinny mirrors the serving index's similarity block
+#: (many rows x tiny inner dim, result consumed immediately);
+#: gemm_weight_app the trainer's out=-buffered weight application;
+#: spmm_prop the sampled-subgraph propagation kernel.
+BENCH_SHAPES = (
+    # 200k x 64 float32 result = 51 MiB: past glibc's mmap-threshold
+    # ceiling, so the fresh allocation faults its pages on every call —
+    # the regime where the arena plan's buffer reuse pays off (~3x).
+    ("gemm_tall_skinny", lambda seed: _make_gemm(200_000, 16, 64, seed, transient=True)),
+    ("gemm_weight_app", lambda seed: _make_gemm(65_536, 64, 64, seed, transient=False)),
+    ("spmm_prop", lambda seed: _make_spmm(20_000, 15.0, 64, seed)),
+)
+
+#: Smaller variants for ``kernel-tune warm``: enough to populate every
+#: op/variant family in the plan table in well under a second.
+WARM_SHAPES = (
+    ("gemm_tall_skinny", lambda seed: _make_gemm(20_000, 16, 64, seed, transient=True)),
+    ("gemm_weight_app", lambda seed: _make_gemm(8_192, 64, 64, seed, transient=False)),
+    ("spmm_prop", lambda seed: _make_spmm(4_000, 12.0, 32, seed)),
+)
+
+
+def warm(
+    cache: autotune.PlanCache, *, seed: int = 0, shapes=WARM_SHAPES
+) -> dict:
+    """Tune every shape in ``shapes`` through ``cache``; returns stats.
+
+    Each workload runs once under ``"auto"`` mode — a class not yet in
+    the table tunes and persists, a cached class dispatches with zero
+    microbenchmarks (what the CI smoke asserts on its second run).
+    """
+    before = cache.tuner.microbenchmarks
+    previous = autotune.set_plan_cache(cache)
+    try:
+        with autotune.planning("auto"):
+            for _, factory in shapes:
+                workload, _key = factory(seed)
+                workload()
+    finally:
+        autotune.set_plan_cache(previous)
+    return {
+        "classes": len(cache.plans),
+        "microbenchmarks": cache.tuner.microbenchmarks - before,
+        "load_failed": cache.load_failed,
+        "path": str(cache.path),
+    }
+
+
+def run(
+    *,
+    repeats: int = 7,
+    seed: int = 0,
+    min_speedup: float = DEFAULT_MIN_SPEEDUP,
+    cache: autotune.PlanCache | None = None,
+    shapes=BENCH_SHAPES,
+) -> dict:
+    """Time static-fast vs autotuned dispatch over the bench shape set."""
+    if cache is None:
+        cache = autotune.PlanCache(persist=False)
+    timer = time.perf_counter
+    rows = []
+    samples: dict[str, list[float]] = {}
+    previous = autotune.set_plan_cache(cache)
+    try:
+        for name, factory in shapes:
+            workload, class_key = factory(seed)
+            # Warm both modes outside the timed region: the auto warmup
+            # is where first-use tuning happens, the fast warmup pages
+            # the operands in.
+            with autotune.planning("fast"):
+                workload()
+            with autotune.planning("auto"):
+                workload()
+            fast_s: list[float] = []
+            auto_s: list[float] = []
+            for _ in range(repeats):
+                with autotune.planning("fast"):
+                    t0 = timer()
+                    workload()
+                    fast_s.append(timer() - t0)
+                with autotune.planning("auto"):
+                    t0 = timer()
+                    workload()
+                    auto_s.append(timer() - t0)
+            samples[f"wall_s.fast.{name}"] = fast_s
+            samples[f"wall_s.auto.{name}"] = auto_s
+            fast_med = statistics.median(fast_s)
+            auto_med = statistics.median(auto_s)
+            plan = cache.plans.get(class_key)
+            rows.append(
+                {
+                    "shape_class": name,
+                    "class_key": class_key,
+                    "fast_ms": fast_med * 1e3,
+                    "auto_ms": auto_med * 1e3,
+                    "speedup": fast_med / auto_med if auto_med > 0 else 0.0,
+                    "plan": plan.describe() if plan is not None else "default",
+                }
+            )
+    finally:
+        autotune.set_plan_cache(previous)
+    speedups = {row["shape_class"]: row["speedup"] for row in rows}
+    max_speedup = max(speedups.values()) if speedups else 0.0
+    return {
+        "rows": rows,
+        "samples": samples,
+        "speedups": speedups,
+        "max_speedup": max_speedup,
+        "min_speedup_target": min_speedup,
+        "meets_target": max_speedup >= min_speedup,
+        "tuned_classes": len(cache.plans),
+        "tuning_microbenchmarks": cache.tuner.microbenchmarks,
+        "plans": {key: plan.as_dict() for key, plan in cache.plans.items()},
+        "repeats": repeats,
+    }
+
+
+def format_results(results: dict) -> str:
+    """Paper-style table plus the acceptance verdict line."""
+    table = format_table(
+        results["rows"], title="kernel dispatch: static fast vs autotuned"
+    )
+    verdict = (
+        f"max speedup {results['max_speedup']:.2f}x "
+        f"(target >= {results['min_speedup_target']:.2f}x on any class): "
+        + ("PASS" if results["meets_target"] else "FAIL")
+    )
+    tuned = (
+        f"{results['tuned_classes']} shape classes tuned, "
+        f"{results['tuning_microbenchmarks']} microbenchmarks"
+    )
+    return f"{table}\n\n{verdict}\n{tuned}"

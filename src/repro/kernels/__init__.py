@@ -8,8 +8,14 @@ story; GraphVite/GOSH make the same architectural bet). The pieces:
   ``spmm_adjoint`` / block gather-scatter / elementwise helpers, all with
   optional ``out=`` buffers, all metered;
 * :mod:`repro.kernels.backends` — the named backend registry (``"scipy"``
-  CSR vs pure-``"numpy"`` reduceat SpMM) plus the weak-ref-memoized
-  scipy adjacency cache;
+  CSR vs pure-``"numpy"`` reduceat SpMM vs row-paneled ``"blocked"``
+  gemm) plus the weak-ref-memoized scipy adjacency cache;
+* :mod:`repro.kernels.autotune` — plan-based dispatch: log-bucketed
+  :class:`~repro.kernels.autotune.ShapeClass` keys, per-class
+  :class:`~repro.kernels.autotune.ExecutionPlan` microbenchmark-tuned at
+  first use, persisted per environment fingerprint;
+* :mod:`repro.kernels.roofline` — achieved flops/s and bytes/s per shape
+  class vs calibrated machine peaks, for the ``roofline-report`` CLI;
 * :mod:`repro.kernels.policy` — :data:`~repro.kernels.policy.REFERENCE`
   (float64, no workspace, bit-identical to the seed) and
   :data:`~repro.kernels.policy.FAST` (float32 + workspace) dtype
@@ -23,10 +29,20 @@ story; GraphVite/GOSH make the same architectural bet). The pieces:
 See the "Compute kernels" section of ``docs/architecture.md``.
 """
 
-from . import accounting, backends, ops, policy, workspace
+from . import accounting, autotune, backends, ops, policy, roofline, workspace
 from .accounting import KernelCounters, capture
+from .autotune import (
+    ExecutionPlan,
+    PlanCache,
+    ShapeClass,
+    Tuner,
+    plan_mode,
+    planning,
+    set_plan_mode,
+)
 from .backends import (
     KernelBackend,
+    adjacency_cache_stats,
     adjacency_matrix,
     available_backends,
     default_backend,
@@ -50,13 +66,23 @@ from .workspace import Workspace
 
 __all__ = [
     "accounting",
+    "autotune",
     "backends",
     "ops",
     "policy",
+    "roofline",
     "workspace",
     "KernelCounters",
     "capture",
+    "ExecutionPlan",
+    "PlanCache",
+    "ShapeClass",
+    "Tuner",
+    "plan_mode",
+    "planning",
+    "set_plan_mode",
     "KernelBackend",
+    "adjacency_cache_stats",
     "adjacency_matrix",
     "available_backends",
     "default_backend",

@@ -36,13 +36,18 @@ from ..obs import metrics as _obs_metrics
 
 __all__ = [
     "KernelCounters",
+    "ClassCounters",
     "TOTALS",
+    "PER_CLASS",
     "capture",
     "record_gemm",
     "record_spmm",
     "reset_totals",
+    "per_class_snapshot",
     "gemm_flop_count",
     "spmm_flop_count",
+    "gemm_bytes_moved",
+    "spmm_bytes_moved",
 ]
 
 
@@ -54,6 +59,30 @@ def gemm_flop_count(m: int, k: int, n: int) -> float:
 def spmm_flop_count(nnz: int, cols: int) -> float:
     """Flops of one sparse row-gather-sum over ``nnz`` edges, ``cols`` wide."""
     return 2.0 * nnz * cols
+
+
+def gemm_bytes_moved(m: int, k: int, n: int, itemsize: int) -> float:
+    """Modeled minimum memory traffic of one dense multiply.
+
+    Each operand read once, the result written once — the compulsory
+    traffic a perfect cache would incur. Real traffic is higher when
+    ``k``/``n`` exceed cache, but the roofline's operational-intensity
+    axis conventionally uses this lower bound.
+    """
+    return float(itemsize) * (m * k + k * n + m * n)
+
+
+def spmm_bytes_moved(rows: int, nnz: int, cols: int, itemsize: int) -> float:
+    """Modeled memory traffic of one CSR neighbor-sum ``A @ x``.
+
+    Structure reads (``indptr``: int64, ``indices``: per-edge int32/64 —
+    modeled at 8 bytes to match the repo's int64 CSR arrays), one gathered
+    feature row per edge, and the dense result written once.
+    """
+    structure = 8.0 * (rows + 1) + 8.0 * nnz
+    gathered = float(itemsize) * nnz * cols
+    result = float(itemsize) * rows * cols
+    return structure + gathered + result
 
 
 class KernelCounters:
@@ -89,8 +118,40 @@ class KernelCounters:
         return self.gemm_flops + self.spmm_flops
 
 
+class ClassCounters:
+    """Per-shape-class cost bucket: flops, modeled bytes, wall seconds.
+
+    One instance per :class:`~repro.kernels.autotune.ShapeClass` key
+    accumulates in :data:`PER_CLASS`; :mod:`repro.kernels.roofline`
+    reads these to place every call site on the achieved-vs-peak chart.
+    """
+
+    __slots__ = ("op", "calls", "flops", "bytes", "seconds")
+
+    def __init__(self, op: str = "") -> None:
+        self.op = op
+        self.calls = 0
+        self.flops = 0.0
+        self.bytes = 0.0
+        self.seconds = 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        """JSON-ready copy of this bucket's counters (plus its op)."""
+        return {
+            "op": self.op,
+            "calls": self.calls,
+            "flops": self.flops,
+            "bytes": self.bytes,
+            "seconds": self.seconds,
+        }
+
+
 #: Process-wide totals, always accumulating (cheap), never auto-reset.
 TOTALS = KernelCounters()
+
+#: Shape-class key -> :class:`ClassCounters`. Populated by every kernel
+#: call dispatched with a class key; reset with :func:`reset_totals`.
+PER_CLASS: dict[str, ClassCounters] = {}
 
 # Active capture scopes; every record fans out to all of them plus TOTALS.
 _CAPTURES: list[KernelCounters] = []
@@ -98,8 +159,32 @@ _CAPTURES: list[KernelCounters] = []
 _perf_counter = time.perf_counter
 
 
-def record_gemm(m: int, k: int, n: int, seconds: float) -> None:
-    """Account one dense multiply of shape ``(m, k) @ (k, n)``."""
+def _record_class(
+    op: str, class_key: str, flops: float, bytes_moved: float, seconds: float
+) -> None:
+    bucket = PER_CLASS.get(class_key)
+    if bucket is None:
+        bucket = PER_CLASS[class_key] = ClassCounters(op)
+    bucket.calls += 1
+    bucket.flops += flops
+    bucket.bytes += bytes_moved
+    bucket.seconds += seconds
+
+
+def record_gemm(
+    m: int,
+    k: int,
+    n: int,
+    seconds: float,
+    *,
+    class_key: str | None = None,
+    itemsize: int = 8,
+) -> None:
+    """Account one dense multiply of shape ``(m, k) @ (k, n)``.
+
+    ``class_key``/``itemsize`` additionally feed the per-shape-class
+    roofline buckets; callers outside the dispatch layer may omit them.
+    """
     flops = 2.0 * m * k * n
     TOTALS.gemm_calls += 1
     TOTALS.gemm_flops += flops
@@ -108,13 +193,25 @@ def record_gemm(m: int, k: int, n: int, seconds: float) -> None:
         cap.gemm_calls += 1
         cap.gemm_flops += flops
         cap.gemm_seconds += seconds
+    if class_key is not None:
+        _record_class(
+            "gemm", class_key, flops, gemm_bytes_moved(m, k, n, itemsize), seconds
+        )
     if _obs_enabled():
         _obs_metrics.inc("gemm.ops")
         _obs_metrics.inc("gemm.flops", flops)
         _obs_metrics.inc("gemm.seconds", seconds)
 
 
-def record_spmm(nnz: int, cols: int, seconds: float) -> None:
+def record_spmm(
+    nnz: int,
+    cols: int,
+    seconds: float,
+    *,
+    rows: int = 0,
+    class_key: str | None = None,
+    itemsize: int = 8,
+) -> None:
     """Account one sparse aggregation over ``nnz`` edges, ``cols`` wide."""
     flops = 2.0 * nnz * cols
     TOTALS.spmm_calls += 1
@@ -124,10 +221,23 @@ def record_spmm(nnz: int, cols: int, seconds: float) -> None:
         cap.spmm_calls += 1
         cap.spmm_flops += flops
         cap.spmm_seconds += seconds
+    if class_key is not None:
+        _record_class(
+            "spmm",
+            class_key,
+            flops,
+            spmm_bytes_moved(rows, nnz, cols, itemsize),
+            seconds,
+        )
     if _obs_enabled():
         _obs_metrics.inc("spmm.ops")
         _obs_metrics.inc("spmm.flops", flops)
         _obs_metrics.inc("spmm.seconds", seconds)
+
+
+def per_class_snapshot() -> dict[str, dict[str, float]]:
+    """JSON-ready copy of every per-shape-class bucket."""
+    return {key: PER_CLASS[key].snapshot() for key in sorted(PER_CLASS)}
 
 
 @contextmanager
@@ -148,5 +258,6 @@ def capture() -> Iterator[KernelCounters]:
 
 
 def reset_totals() -> None:
-    """Zero the process-wide :data:`TOTALS` (bench runners call this)."""
+    """Zero :data:`TOTALS` and :data:`PER_CLASS` (bench runners call this)."""
     TOTALS.reset()
+    PER_CLASS.clear()

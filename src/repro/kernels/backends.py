@@ -5,12 +5,15 @@ sparse ``spmm`` — registered under a string key. The dispatch functions
 in :mod:`repro.kernels.ops` look the key up here, so swapping the
 implementation under every layer/trainer/serving call site is a one-line
 ``backend=`` change (or a :func:`set_default_backend` call), never a
-model-code edit. Two backends ship:
+model-code edit. Three backends ship:
 
 * ``"scipy"`` — numpy BLAS gemm + scipy CSR spmm (the fast path);
 * ``"numpy"`` — numpy BLAS gemm + pure-numpy ``add.reduceat``
   segment-sum spmm (dependency-free oracle, also what the partitioned
-  propagation driver models).
+  propagation driver models);
+* ``"blocked"`` — row-paneled gemm (:func:`make_blocked_gemm`) + scipy
+  spmm: the tunable blocking axis the autotuner explores (never
+  bit-identical to full BLAS, so only eligible under float32).
 
 The scipy backend memoizes the ``scipy.sparse.csr_matrix`` view of each
 :class:`~repro.graphs.csr.CSRGraph` in a weak, id-keyed cache (one entry
@@ -28,6 +31,9 @@ from typing import TYPE_CHECKING, Callable, Optional
 import numpy as np
 import scipy.sparse as sp
 
+from ..obs import is_enabled as _obs_enabled
+from ..obs import metrics as _obs_metrics
+
 if TYPE_CHECKING:  # import only for annotations: keeps repro.kernels
     # importable before repro.graphs finishes initializing (no cycle).
     from ..graphs.csr import CSRGraph
@@ -40,6 +46,8 @@ __all__ = [
     "default_backend",
     "set_default_backend",
     "adjacency_matrix",
+    "adjacency_cache_stats",
+    "make_blocked_gemm",
     "segment_sum",
 ]
 
@@ -54,6 +62,21 @@ __all__ = [
 # callback when the graph is collected (id reuse is also guarded by an
 # identity check on lookup).
 _ADJACENCY_CACHE: dict[int, tuple["weakref.ref[CSRGraph]", dict] ] = {}
+
+# Running hit/miss tally for the memo cache. A "hit" is a lookup that
+# found the (graph, dtype) operator already built; a "miss" had to build
+# one (the pre-PR-3 rebuild-per-call cost this cache eliminated). The
+# live-entry count is derived: one cache slot per live graph.
+_ADJACENCY_STATS = {"hits": 0, "misses": 0}
+
+
+def adjacency_cache_stats() -> dict[str, int]:
+    """Hit/miss/live-entry counts for the weak CSR adjacency memo cache."""
+    return {
+        "hits": _ADJACENCY_STATS["hits"],
+        "misses": _ADJACENCY_STATS["misses"],
+        "live_entries": len(_ADJACENCY_CACHE),
+    }
 
 
 def adjacency_matrix(graph: CSRGraph, dtype=np.float64) -> sp.csr_matrix:
@@ -76,10 +99,20 @@ def adjacency_matrix(graph: CSRGraph, dtype=np.float64) -> sp.csr_matrix:
     per_dtype = entry[1]
     mat = per_dtype.get(dtype)
     if mat is None:
+        _ADJACENCY_STATS["misses"] += 1
+        if _obs_enabled():
+            _obs_metrics.inc("kernels.adjacency_cache.misses")
+            _obs_metrics.set_gauge(
+                "kernels.adjacency_cache.live_entries", len(_ADJACENCY_CACHE)
+            )
         data = np.ones(graph.num_edges_directed, dtype=dtype)
         n = graph.num_vertices
         mat = sp.csr_matrix((data, graph.indices, graph.indptr), shape=(n, n))
         per_dtype[dtype] = mat
+    else:
+        _ADJACENCY_STATS["hits"] += 1
+        if _obs_enabled():
+            _obs_metrics.inc("kernels.adjacency_cache.hits")
     return mat
 
 
@@ -130,6 +163,41 @@ def segment_sum(
     nonempty = np.flatnonzero(lengths > 0)
     out[nonempty] = np.add.reduceat(values, indptr[nonempty], axis=0)
     return out
+
+
+def make_blocked_gemm(
+    block_rows: int = 1024,
+    base: Callable[
+        [np.ndarray, np.ndarray, Optional[np.ndarray]], np.ndarray
+    ] = _gemm_numpy,
+) -> Callable[[np.ndarray, np.ndarray, Optional[np.ndarray]], np.ndarray]:
+    """A gemm that processes ``a`` in row panels of ``block_rows``.
+
+    Row blocking keeps the active slice of the output (and of ``a``)
+    cache-resident for tall-skinny shapes, at the price of one extra
+    Python-level loop — a real trade-off, which is exactly what the
+    autotuner needs: on some shape classes this wins, on most it loses.
+    Panel results are written straight into the output buffer, so the
+    result is *not* guaranteed bit-identical to a single full-matrix
+    BLAS call (different accumulation blocking); the tuner therefore
+    only ever selects it under the float32 tolerance regime.
+    """
+    if block_rows < 1:
+        raise ValueError(f"block_rows must be positive, got {block_rows}")
+
+    def _blocked(
+        a: np.ndarray, b: np.ndarray, out: Optional[np.ndarray]
+    ) -> np.ndarray:
+        m, n = a.shape[0], b.shape[1]
+        if m <= block_rows:
+            return base(a, b, out)
+        if out is None:
+            out = np.empty((m, n), dtype=np.result_type(a, b))
+        for i in range(0, m, block_rows):
+            base(a[i : i + block_rows], b, out[i : i + block_rows])
+        return out
+
+    return _blocked
 
 
 def _spmm_numpy(
@@ -211,3 +279,6 @@ def set_default_backend(name: str) -> str:
 
 register_backend(KernelBackend(name="scipy", gemm=_gemm_numpy, spmm=_spmm_scipy))
 register_backend(KernelBackend(name="numpy", gemm=_gemm_numpy, spmm=_spmm_numpy))
+register_backend(
+    KernelBackend(name="blocked", gemm=make_blocked_gemm(1024), spmm=_spmm_scipy)
+)

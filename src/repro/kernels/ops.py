@@ -5,18 +5,26 @@ All hot-path matrix math in the repo goes through these functions —
 and the serving indexes. Each call:
 
 1. validates shapes,
-2. dispatches to the selected :class:`~repro.kernels.backends.KernelBackend`
-   (``backend=None`` → the registry default),
-3. optionally writes into a caller-provided ``out=`` buffer (the
+2. resolves an :class:`~repro.kernels.autotune.ExecutionPlan` — an
+   explicit ``plan=`` or ``backend=`` argument wins outright; otherwise
+   the process-wide plan mode decides (``"fast"``/``"reference"`` →
+   static default-backend dispatch, ``"auto"`` → the
+   :class:`~repro.kernels.autotune.PlanCache`, tuning at first use),
+3. executes the plan against the selected
+   :class:`~repro.kernels.backends.KernelBackend`, optionally writing a
+   caller-provided ``out=`` buffer (the
    :class:`~repro.kernels.workspace.Workspace` arena hands these out), and
-4. reports its exact flop count and wall time to
-   :mod:`repro.kernels.accounting`.
+4. reports its exact flop count, modeled bytes and wall time —
+   per-shape-class — to :mod:`repro.kernels.accounting`.
 
-With ``out=None`` every function is *bit-identical* to the raw numpy
-expression it replaced (``a @ b``, gather + ``add.reduceat``, ...), which
-is what keeps the float64 reference dtype policy reproducing seed-era
-results exactly. A guard test (``tests/kernels/test_kernel_guard.py``)
-AST-scans the tree so no raw matmul creeps back in outside this package.
+With ``out=None`` under the default static dispatch every function is
+*bit-identical* to the raw numpy expression it replaced (``a @ b``,
+gather + ``add.reduceat``, ...), and float64 operands **always** resolve
+to the pinned reference plan even in auto mode — which is what keeps the
+float64 reference dtype policy reproducing seed-era results exactly. A
+guard test (``tests/kernels/test_kernel_guard.py``) AST-scans the tree so
+no raw matmul — and no raw ``get_backend(...).gemm`` bypass — creeps back
+in outside this package.
 """
 
 from __future__ import annotations
@@ -26,10 +34,11 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
-from . import accounting
+from . import accounting, autotune
 
 if TYPE_CHECKING:  # annotation-only: see backends.py on the import cycle.
     from ..graphs.csr import CSRGraph
+from .autotune import ExecutionPlan, ShapeClass
 from .backends import get_backend, segment_sum
 
 __all__ = [
@@ -54,19 +63,55 @@ def _check_2d(a: np.ndarray, b: np.ndarray) -> None:
         raise ValueError(f"gemm shape mismatch: {a.shape} @ {b.shape}")
 
 
+def _resolve_gemm_plan(
+    a: np.ndarray,
+    b: np.ndarray,
+    out: Optional[np.ndarray],
+    backend: Optional[str],
+    plan: Optional[ExecutionPlan],
+    transient: bool,
+) -> ExecutionPlan:
+    """Plan for one gemm call: explicit plan > explicit backend > mode."""
+    if plan is not None:
+        return plan
+    if backend is not None:
+        return ExecutionPlan(backend=backend, source="explicit")
+    return autotune.resolve_gemm(a, b, out, transient=transient)
+
+
 def gemm(
     a: np.ndarray,
     b: np.ndarray,
     *,
     out: Optional[np.ndarray] = None,
     backend: Optional[str] = None,
+    plan: Optional[ExecutionPlan] = None,
+    transient: bool = False,
 ) -> np.ndarray:
-    """Dense ``a @ b`` with optional ``out=`` buffer, metered."""
+    """Dense ``a @ b`` with optional ``out=`` buffer, metered.
+
+    ``transient=True`` marks the result as consumed before the caller's
+    next same-shaped kernel call, which lets an autotuned plan place it
+    in the shared arena (the buffer is *reused* by the next transient
+    call of the same shape class — never pass it somewhere long-lived).
+    """
     _check_2d(a, b)
-    impl = get_backend(backend)
+    resolved = _resolve_gemm_plan(a, b, out, backend, plan, transient)
+    impl = get_backend(resolved.backend)
+    variant = "out" if out is not None else ("transient" if transient else "alloc")
+    sc = ShapeClass.for_gemm(
+        a.shape[0], a.shape[1], b.shape[1], a.dtype, variant=variant
+    )
     t0 = _perf_counter()
-    result = impl.gemm(a, b, out)
-    accounting.record_gemm(a.shape[0], a.shape[1], b.shape[1], _perf_counter() - t0)
+    result = autotune.execute_gemm(impl, resolved, a, b, out, transient=transient)
+    accounting.record_gemm(
+        a.shape[0],
+        a.shape[1],
+        b.shape[1],
+        _perf_counter() - t0,
+        class_key=sc.key,
+        itemsize=result.dtype.itemsize,
+    )
     return result
 
 
@@ -77,6 +122,7 @@ def gemm_accumulate(
     *,
     scratch: Optional[np.ndarray] = None,
     backend: Optional[str] = None,
+    plan: Optional[ExecutionPlan] = None,
 ) -> np.ndarray:
     """``acc += a @ b`` (gradient accumulation), metered.
 
@@ -88,14 +134,29 @@ def gemm_accumulate(
     _check_2d(a, b)
     if acc.shape != (a.shape[0], b.shape[1]):
         raise ValueError(f"acc shape {acc.shape} != product shape ({a.shape[0]}, {b.shape[1]})")
-    impl = get_backend(backend)
+    resolved = _resolve_gemm_plan(a, b, scratch, backend, plan, False)
+    impl = get_backend(resolved.backend)
+    sc = ShapeClass.for_gemm(
+        a.shape[0],
+        a.shape[1],
+        b.shape[1],
+        a.dtype,
+        variant="out" if scratch is not None else "alloc",
+    )
     t0 = _perf_counter()
     if scratch is None:
-        acc += impl.gemm(a, b, None)
+        acc += autotune.execute_gemm(impl, resolved, a, b, None)
     else:
-        impl.gemm(a, b, scratch)
+        autotune.execute_gemm(impl, resolved, a, b, scratch)
         acc += scratch
-    accounting.record_gemm(a.shape[0], a.shape[1], b.shape[1], _perf_counter() - t0)
+    accounting.record_gemm(
+        a.shape[0],
+        a.shape[1],
+        b.shape[1],
+        _perf_counter() - t0,
+        class_key=sc.key,
+        itemsize=acc.dtype.itemsize,
+    )
     return acc
 
 
@@ -105,16 +166,32 @@ def spmm(
     *,
     out: Optional[np.ndarray] = None,
     backend: Optional[str] = None,
+    plan: Optional[ExecutionPlan] = None,
 ) -> np.ndarray:
     """Sparse neighbor-sum ``A @ x`` over a CSR graph, metered."""
     if x.ndim != 2:
         raise ValueError(f"spmm expects a 2-D feature matrix, got {x.ndim}-D")
     if x.shape[0] != graph.num_vertices:
         raise ValueError(f"feature rows {x.shape[0]} != vertices {graph.num_vertices}")
-    impl = get_backend(backend)
+    if plan is None:
+        if backend is not None:
+            plan = ExecutionPlan(backend=backend, source="explicit")
+        else:
+            plan = autotune.resolve_spmm(graph, x)
+    impl = get_backend(plan.backend)
+    sc = ShapeClass.for_spmm(
+        graph.num_vertices, graph.num_edges_directed, x.shape[1], x.dtype
+    )
     t0 = _perf_counter()
-    result = impl.spmm(graph, x, out)
-    accounting.record_spmm(graph.num_edges_directed, x.shape[1], _perf_counter() - t0)
+    result = autotune.execute_spmm(impl, plan, graph, x, out)
+    accounting.record_spmm(
+        graph.num_edges_directed,
+        x.shape[1],
+        _perf_counter() - t0,
+        rows=graph.num_vertices,
+        class_key=sc.key,
+        itemsize=result.dtype.itemsize,
+    )
     return result
 
 
@@ -124,6 +201,7 @@ def spmm_adjoint(
     *,
     out: Optional[np.ndarray] = None,
     backend: Optional[str] = None,
+    plan: Optional[ExecutionPlan] = None,
 ) -> np.ndarray:
     """Adjoint SpMM ``A^T @ grad``.
 
@@ -133,7 +211,7 @@ def spmm_adjoint(
     (and is the seam where a directed-graph transpose kernel would slot
     in).
     """
-    return spmm(graph, grad, out=out, backend=backend)
+    return spmm(graph, grad, out=out, backend=backend, plan=plan)
 
 
 def gather_segment_sum(
@@ -161,7 +239,17 @@ def gather_segment_sum(
             weights = weights.astype(src.dtype)
         gathered = gathered * weights[:, None]
     result = segment_sum(gathered, indptr, num_out, out=out)
-    accounting.record_spmm(int(take.size), src.shape[1], _perf_counter() - t0)
+    sc = ShapeClass.for_spmm(
+        num_out, int(take.size), src.shape[1], src.dtype, variant="gather"
+    )
+    accounting.record_spmm(
+        int(take.size),
+        src.shape[1],
+        _perf_counter() - t0,
+        rows=num_out,
+        class_key=sc.key,
+        itemsize=result.dtype.itemsize,
+    )
     return result
 
 
@@ -181,7 +269,18 @@ def scatter_add_rows(
     else:
         out[...] = 0
     np.add.at(out, take, per_edge)
-    accounting.record_spmm(int(take.size), per_edge.shape[1] if per_edge.ndim > 1 else 1, _perf_counter() - t0)
+    cols = per_edge.shape[1] if per_edge.ndim > 1 else 1
+    sc = ShapeClass.for_spmm(
+        num_out, int(take.size), cols, per_edge.dtype, variant="scatter"
+    )
+    accounting.record_spmm(
+        int(take.size),
+        cols,
+        _perf_counter() - t0,
+        rows=num_out,
+        class_key=sc.key,
+        itemsize=out.dtype.itemsize,
+    )
     return out
 
 

@@ -68,6 +68,10 @@ def trace_document(
     """Full export: nested spans + per-phase aggregates + metrics."""
     from .record import environment_fingerprint
 
+    # Lazy import: the kernel layer imports obs at module load, so this
+    # direction must resolve at call time only.
+    from ..kernels import accounting as kernel_accounting
+
     tracer = tracer or get_tracer()
     registry = registry or REGISTRY
     phases = aggregate(tracer.roots)
@@ -76,6 +80,7 @@ def trace_document(
         "env": environment_fingerprint(),
         "phases": {k: v.as_dict() for k, v in phases.items()},
         "metrics": _jsonable(registry.snapshot()),
+        "kernel_classes": _jsonable(kernel_accounting.per_class_snapshot()),
         "spans": [span_to_dict(r) for r in tracer.roots],
     }
 

@@ -82,7 +82,8 @@ class PartitionedPropagator:
     cores:
         Worker count ``C`` used in the ``Q = max(C, 8nf/S_cache)`` rule.
     backend:
-        Kernel-registry SpMM backend name (``"scipy"`` / ``"numpy"``).
+        Kernel-registry SpMM backend name (``"scipy"`` / ``"numpy"``),
+        or ``None`` to let the kernel layer's plan resolution choose.
     workspace:
         Optional :class:`repro.kernels.Workspace`; when given, each
         pass's output lands in a reused arena buffer instead of a fresh
@@ -97,7 +98,7 @@ class PartitionedPropagator:
         machine: MachineSpec,
         *,
         cores: int,
-        backend: str = "scipy",
+        backend: str | None = "scipy",
         workspace: Workspace | None = None,
     ) -> None:
         if cores <= 0:

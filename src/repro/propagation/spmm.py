@@ -56,11 +56,13 @@ class MeanAggregator:
         aggregate to the zero vector.
     backend:
         Kernel-registry backend name: ``"scipy"`` (default, fast) or
-        ``"numpy"`` (oracle).
+        ``"numpy"`` (oracle). ``None`` leaves the choice to the kernel
+        layer's plan resolution (static default in ``"fast"`` mode,
+        the autotuned per-shape-class plan in ``"auto"`` mode).
     """
 
-    def __init__(self, graph: CSRGraph, *, backend: str = "scipy") -> None:
-        if backend not in available_backends():
+    def __init__(self, graph: CSRGraph, *, backend: str | None = "scipy") -> None:
+        if backend is not None and backend not in available_backends():
             raise ValueError(f"unknown backend {backend!r}")
         self.graph = graph
         self.backend = backend

@@ -251,6 +251,9 @@ class ClusterConfig:
     hedge_fallback: float = 0.05  # seconds, pre-warmup hedge trigger
     include_owner: bool = True  # force the query's own shard into fan-out
     shard_index: str = "brute"  # per-shard index kind
+    # Kernel dispatch planning mode for the replay's similarity kernels
+    # ("fast" | "reference" | "auto"; see repro.kernels.autotune).
+    kernel_plan: str = "fast"
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -428,7 +431,9 @@ class ClusterServer:
         histograms (fan-out width, hedge rate, replica queue depth,
         per-shard latency, staleness, upsert lag) on the shared registry.
         """
-        with span("cluster.trace") as sp:
+        from ..kernels import autotune
+
+        with autotune.planning(self.config.kernel_plan), span("cluster.trace") as sp:
             replay = self._serve_trace(trace, collect_results=collect_results)
         if obs_enabled():
             sp.set(requests=len(trace), served=replay.metrics.served)

@@ -210,7 +210,10 @@ class BruteForceIndex:
         sim_out = np.empty((num_q, k), dtype=self.dtype)
         for chunk in _query_chunks(num_q, self.chunk_size):
             rows = slice(chunk.start, chunk.stop)
-            sims = kernel_ops.gemm(qn[rows], self._normed.T)
+            # transient: sims is fully consumed (top-k + einsum) before
+            # the next chunk's gemm, so an autotuned plan may reuse the
+            # arena buffer across chunks.
+            sims = kernel_ops.gemm(qn[rows], self._normed.T, transient=True)
             if exclude is not None:
                 sims[
                     np.arange(chunk.stop - chunk.start),
@@ -254,7 +257,9 @@ def _spherical_kmeans(
     centroids = normed[start].copy()
     assignments = np.zeros(n, dtype=np.int64)
     for _ in range(iters):
-        sims = kernel_ops.gemm(normed, centroids.T)
+        # transient: consumed into assignments/best before the next
+        # iteration's same-shape gemm.
+        sims = kernel_ops.gemm(normed, centroids.T, transient=True)
         assignments = sims.argmax(axis=1)
         best = sims[np.arange(n), assignments]
         for c in range(num_clusters):
@@ -358,7 +363,10 @@ class ClusterIndex:
         qn = query_vecs if normalized else l2_normalize_rows(query_vecs, dtype=self.dtype)
         num_q = qn.shape[0]
         p = int(np.clip(probes or self.default_probes, 1, self.num_clusters))
-        cent_sims = kernel_ops.gemm(qn, self.centroids.T)
+        # transient: consumed into probe_sets right here. The per-cell
+        # `block` gemm below must NOT be transient — its rows are kept
+        # as views in cand_sims across later gemm calls.
+        cent_sims = kernel_ops.gemm(qn, self.centroids.T, transient=True)
         if p < self.num_clusters:
             probe_sets = np.argpartition(-cent_sims, kth=p - 1, axis=1)[:, :p]
         else:

@@ -87,7 +87,9 @@ class CentroidRouter:
         """
         qn = np.atleast_2d(np.asarray(query_vecs, dtype=self.dtype))
         fanout = int(np.clip(fanout, 1, max(self.nonempty_shards, 1)))
-        sims = kernel_ops.gemm(qn, self._centroids.T)
+        # transient: fully consumed into `top` below before any later
+        # same-shaped routing gemm.
+        sims = kernel_ops.gemm(qn, self._centroids.T, transient=True)
         for s, m in enumerate(self._members):
             if m.size == 0:
                 sims[:, s] = -np.inf

@@ -50,6 +50,9 @@ class ServerConfig:
     cache_capacity: int = 0  # 0 disables the result cache
     deadline: float | None = None  # None disables probe degradation
     min_probes: int = 1
+    # Kernel dispatch planning mode for the replay's similarity kernels
+    # ("fast" | "reference" | "auto"; see repro.kernels.autotune).
+    kernel_plan: str = "fast"
 
 
 @dataclass
@@ -133,7 +136,12 @@ class EmbeddingServer:
         batch (the index scan itself under ``serve.search``), plus
         admission/cache/shed counters on the shared registry.
         """
-        with span("serve.trace") as sp:
+        # Scope the kernel plan mode to this replay's compute (the
+        # index's similarity gemms resolve through the plan cache when
+        # kernel_plan="auto"); concurrent code keeps its own mode.
+        from ..kernels import autotune
+
+        with autotune.planning(self.config.kernel_plan), span("serve.trace") as sp:
             replay = self._serve_trace(trace, collect_results=collect_results)
         if obs_enabled():
             sp.set(requests=len(trace), served=replay.metrics.served)

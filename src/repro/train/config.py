@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..kernels.autotune import PLAN_MODES
 from ..kernels.backends import get_backend
 from ..kernels.policy import resolve_policy
 from ..parallel.machine import MachineSpec, xeon_40core
@@ -42,6 +43,14 @@ class TrainConfig:
     spmm_backend:
         Kernel-registry SpMM backend for feature propagation
         (``"scipy"`` or ``"numpy"``).
+    kernel_plan:
+        Kernel dispatch planning mode (see
+        :mod:`repro.kernels.autotune`): ``"fast"`` (static default
+        dispatch, the pre-autotune behavior), ``"reference"`` (pinned
+        bit-identical plans) or ``"auto"`` (per-shape-class plans
+        microbenchmark-tuned at first use and persisted per environment
+        fingerprint). The trainer scopes the mode to its own compute
+        loops, so concurrent code is unaffected.
     sampler_engine:
         Sampler execution engine: ``"fast"`` (vectorized) or
         ``"reference"`` (scalar oracle); forwarded to whichever sampler
@@ -101,6 +110,7 @@ class TrainConfig:
     seed: int = 0
     dtype_policy: str = "reference"
     spmm_backend: str = "scipy"
+    kernel_plan: str = "fast"
     sampler_engine: str = "fast"
     sampler_family: str = "dashboard"
     walk_depth: int = 3
@@ -129,6 +139,11 @@ class TrainConfig:
         # naming the valid choices.
         resolve_policy(self.dtype_policy)
         get_backend(self.spmm_backend)
+        if self.kernel_plan not in PLAN_MODES:
+            raise ValueError(
+                f"kernel_plan must be one of {PLAN_MODES}, "
+                f"got {self.kernel_plan!r}"
+            )
         if self.sampler_engine not in ENGINES:
             raise ValueError(
                 f"sampler_engine must be one of {ENGINES}, "

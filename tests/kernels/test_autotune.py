@@ -1,0 +1,355 @@
+"""Plan-based autotuned dispatch: numerics, determinism, fallback.
+
+The load-bearing properties:
+
+* the ``reference`` policy is *structurally* bit-identical — float64
+  calls pin the reference plan even in ``auto`` mode, so no tuned plan
+  can ever perturb reference-dtype numerics;
+* float32 autotuned results stay within the fast policy's tolerance
+  (the tuner drops candidates that stray, so this holds by construction
+  — the tests check it holds through the real dispatch seam too);
+* the plan table is deterministic per environment fingerprint: a second
+  cache over the same directory loads the persisted table and runs zero
+  microbenchmarks;
+* an unreadable table degrades to static dispatch with a warning — it
+  never takes a run down.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.kernels import autotune
+from repro.kernels import ops as kernel_ops
+from repro.kernels.autotune import (
+    REFERENCE_PLAN,
+    STATIC_PLAN,
+    ExecutionPlan,
+    PlanCache,
+    ShapeClass,
+    Tuner,
+)
+
+
+@pytest.fixture
+def plan_cache(tmp_path):
+    """A persisted cache installed as the process cache for one test."""
+    cache = PlanCache(tmp_path / "plans")
+    previous = autotune.set_plan_cache(cache)
+    yield cache
+    autotune.set_plan_cache(previous)
+
+
+def _counting_timer():
+    """Deterministic timer: every timed region lasts exactly one tick."""
+    state = {"t": 0.0}
+
+    def timer() -> float:
+        state["t"] += 1.0
+        return state["t"]
+
+    return timer
+
+
+class TestShapeClass:
+    def test_nearby_sizes_share_a_bucket(self):
+        a = ShapeClass.for_gemm(1000, 16, 64, np.float32)
+        b = ShapeClass.for_gemm(1024, 16, 64, np.float32)
+        c = ShapeClass.for_gemm(1025, 16, 64, np.float32)
+        assert a.key == b.key
+        assert a.key != c.key
+
+    def test_key_carries_dtype_and_variant(self):
+        sc = ShapeClass.for_gemm(100, 8, 8, np.float32, variant="transient")
+        assert sc.key == "gemm[7.3.3|float32|transient]"
+        assert (
+            ShapeClass.for_gemm(100, 8, 8, np.float64, variant="out").key
+            == "gemm[7.3.3|float64|out]"
+        )
+
+    def test_spmm_density_decade(self):
+        sparse = ShapeClass.for_spmm(1000, 5_000, 64, np.float32)
+        dense = ShapeClass.for_spmm(1000, 500_000, 64, np.float32)
+        assert sparse.buckets[-1] != dense.buckets[-1]
+        assert sparse.op == "spmm"
+
+
+class TestPlanMode:
+    def test_planning_restores_previous_mode(self):
+        assert autotune.plan_mode() == "fast"
+        with autotune.planning("auto"):
+            assert autotune.plan_mode() == "auto"
+            with autotune.planning("reference"):
+                assert autotune.plan_mode() == "reference"
+            assert autotune.plan_mode() == "auto"
+        assert autotune.plan_mode() == "fast"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="plan mode"):
+            autotune.set_plan_mode("turbo")
+
+    def test_fast_and_reference_modes_never_touch_the_cache(self, plan_cache):
+        a = np.ones((8, 4), dtype=np.float32)
+        b = np.ones((4, 4), dtype=np.float32)
+        for mode, expected in (("fast", STATIC_PLAN), ("reference", REFERENCE_PLAN)):
+            with autotune.planning(mode):
+                assert autotune.resolve_gemm(a, b, None) is expected
+        assert plan_cache.tuner.microbenchmarks == 0
+        assert not plan_cache.plans
+
+
+class TestReferencePinning:
+    def test_float64_pins_reference_even_in_auto(self, plan_cache, rng):
+        a = rng.standard_normal((64, 8))
+        b = rng.standard_normal((8, 8))
+        with autotune.planning("auto"):
+            assert autotune.resolve_gemm(a, b, None) is REFERENCE_PLAN
+        assert plan_cache.tuner.microbenchmarks == 0
+
+    def test_float64_spmm_pins_reference(self, plan_cache, medium_graph, rng):
+        x = rng.standard_normal((medium_graph.num_vertices, 4))
+        with autotune.planning("auto"):
+            assert autotune.resolve_spmm(medium_graph, x) is REFERENCE_PLAN
+
+    def test_mixed_dtype_pins_reference(self, plan_cache, rng):
+        a = rng.standard_normal((16, 4)).astype(np.float32)
+        b = rng.standard_normal((4, 4))  # float64
+        with autotune.planning("auto"):
+            assert autotune.resolve_gemm(a, b, None) is REFERENCE_PLAN
+
+    def test_float64_gemm_bit_identical_under_auto(self, plan_cache, rng):
+        # The whole-property check through the real dispatch seam.
+        a = rng.standard_normal((300, 24))
+        b = rng.standard_normal((24, 12))
+        with autotune.planning("reference"):
+            expected = kernel_ops.gemm(a, b)
+        with autotune.planning("auto"):
+            got = kernel_ops.gemm(a, b)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_float64_spmm_bit_identical_under_auto(
+        self, plan_cache, medium_graph, rng
+    ):
+        x = rng.standard_normal((medium_graph.num_vertices, 6))
+        with autotune.planning("reference"):
+            expected = kernel_ops.spmm(medium_graph, x)
+        with autotune.planning("auto"):
+            got = kernel_ops.spmm(medium_graph, x)
+        np.testing.assert_array_equal(got, expected)
+
+
+class TestFloat32Tolerance:
+    """Autotuned float32 plans stay within the fast policy's tolerance."""
+
+    @pytest.mark.parametrize(
+        "m,k,n,kwargs",
+        [
+            (3000, 8, 16, {}),
+            (3000, 8, 16, {"transient": True}),
+            (700, 33, 9, {}),
+        ],
+    )
+    def test_gemm_within_tuner_tolerance(self, plan_cache, rng, m, k, n, kwargs):
+        a = rng.standard_normal((m, k)).astype(np.float32)
+        b = rng.standard_normal((k, n)).astype(np.float32)
+        with autotune.planning("reference"):
+            expected = np.array(kernel_ops.gemm(a, b))
+        with autotune.planning("auto"):
+            got = np.array(kernel_ops.gemm(a, b, **kwargs))
+        tuner = plan_cache.tuner
+        np.testing.assert_allclose(got, expected, rtol=tuner.rtol, atol=tuner.atol)
+        assert tuner.microbenchmarks > 0  # tuning actually happened
+
+    def test_gemm_out_variant_within_tolerance(self, plan_cache, rng):
+        a = rng.standard_normal((3000, 16)).astype(np.float32)
+        b = rng.standard_normal((16, 8)).astype(np.float32)
+        out = np.empty((3000, 8), dtype=np.float32)
+        with autotune.planning("reference"):
+            expected = np.array(kernel_ops.gemm(a, b))
+        with autotune.planning("auto"):
+            returned = kernel_ops.gemm(a, b, out=out)
+        assert returned is out
+        tuner = plan_cache.tuner
+        np.testing.assert_allclose(out, expected, rtol=tuner.rtol, atol=tuner.atol)
+
+    def test_spmm_within_tolerance(self, plan_cache, medium_graph, rng):
+        x = rng.standard_normal((medium_graph.num_vertices, 8)).astype(np.float32)
+        with autotune.planning("reference"):
+            expected = np.array(kernel_ops.spmm(medium_graph, x))
+        with autotune.planning("auto"):
+            got = np.array(kernel_ops.spmm(medium_graph, x))
+        tuner = plan_cache.tuner
+        np.testing.assert_allclose(got, expected, rtol=tuner.rtol, atol=tuner.atol)
+
+    def test_repeated_transient_calls_each_correct(self, plan_cache, rng):
+        # Arena plans may reuse one buffer across same-class calls; each
+        # call's *immediate* value must still be right.
+        k, n = 8, 16
+        b = rng.standard_normal((k, n)).astype(np.float32)
+        with autotune.planning("auto"):
+            for _ in range(4):
+                a = rng.standard_normal((3000, k)).astype(np.float32)
+                got = kernel_ops.gemm(a, b, transient=True)
+                with autotune.planning("reference"):
+                    expected = kernel_ops.gemm(a, b)
+                np.testing.assert_allclose(
+                    got, expected, rtol=plan_cache.tuner.rtol, atol=plan_cache.tuner.atol
+                )
+
+
+class TestDeterminismAndPersistence:
+    def test_same_environment_same_fingerprint_key(self, tmp_path):
+        first = PlanCache(tmp_path)
+        second = PlanCache(tmp_path)
+        assert first.key == second.key
+        assert first.path == second.path
+
+    def test_second_cache_loads_table_with_zero_microbenchmarks(
+        self, tmp_path, rng
+    ):
+        a = rng.standard_normal((2048, 8)).astype(np.float32)
+        b = rng.standard_normal((8, 8)).astype(np.float32)
+        first = PlanCache(tmp_path, tuner=Tuner(timer=_counting_timer()))
+        first.resolve_gemm(a, b, None, transient=True)
+        assert first.tuner.microbenchmarks > 0
+        assert first.path.exists()
+
+        second = PlanCache(tmp_path, tuner=Tuner(timer=_counting_timer()))
+        plan = second.resolve_gemm(a, b, None, transient=True)
+        assert second.tuner.microbenchmarks == 0
+        assert plan == first.plans[
+            ShapeClass.for_gemm(2048, 8, 8, np.float32, variant="transient").key
+        ]
+
+    def test_deterministic_timer_gives_identical_plan_tables(self, tmp_path, rng):
+        # Same fingerprint key + same (injected) measurements => the two
+        # independently tuned tables agree entry for entry.
+        a = rng.standard_normal((2048, 8)).astype(np.float32)
+        b = rng.standard_normal((8, 8)).astype(np.float32)
+        tables = []
+        for sub in ("one", "two"):
+            cache = PlanCache(
+                tmp_path / sub, tuner=Tuner(timer=_counting_timer())
+            )
+            cache.resolve_gemm(a, b, None, transient=True)
+            cache.resolve_gemm(a, b, np.empty((2048, 8), dtype=np.float32))
+            tables.append({k: p.as_dict() for k, p in cache.plans.items()})
+        assert tables[0] == tables[1]
+
+    def test_persisted_table_is_schema_stamped(self, tmp_path, rng):
+        a = rng.standard_normal((1024, 4)).astype(np.float32)
+        b = rng.standard_normal((4, 4)).astype(np.float32)
+        cache = PlanCache(tmp_path, tuner=Tuner(timer=_counting_timer()))
+        cache.resolve_gemm(a, b, None)
+        payload = json.loads(cache.path.read_text())
+        assert payload["schema"] == autotune.PLAN_SCHEMA_VERSION
+        assert payload["key"] == cache.key
+        assert payload["plans"]
+
+
+class TestUnreadableCacheFallback:
+    def test_garbage_table_warns_and_degrades_to_static(self, tmp_path, rng):
+        cache = PlanCache(tmp_path, tuner=Tuner(timer=_counting_timer()))
+        cache.cache_dir.mkdir(parents=True, exist_ok=True)
+        cache.path.write_text("{not json")
+        a = rng.standard_normal((1024, 4)).astype(np.float32)
+        b = rng.standard_normal((4, 4)).astype(np.float32)
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            plan = cache.resolve_gemm(a, b, None)
+        assert plan is STATIC_PLAN
+        assert cache.load_failed
+        assert cache.tuner.microbenchmarks == 0
+        # The latch holds without re-warning on every call.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.resolve_gemm(a, b, None) is STATIC_PLAN
+
+    def test_clear_resets_the_latch_and_tuning_resumes(self, tmp_path, rng):
+        cache = PlanCache(tmp_path, tuner=Tuner(timer=_counting_timer()))
+        cache.cache_dir.mkdir(parents=True, exist_ok=True)
+        cache.path.write_text("{not json")
+        a = rng.standard_normal((1024, 4)).astype(np.float32)
+        b = rng.standard_normal((4, 4)).astype(np.float32)
+        with pytest.warns(RuntimeWarning):
+            cache.resolve_gemm(a, b, None)
+        assert cache.clear() == 1
+        assert not cache.load_failed
+        plan = cache.resolve_gemm(a, b, None)
+        assert plan.source == "tuned"
+        assert cache.tuner.microbenchmarks > 0
+
+    def test_unknown_backend_entry_is_dropped_with_warning(self, tmp_path, rng):
+        probe = PlanCache(tmp_path)
+        key = ShapeClass.for_gemm(1024, 4, 4, np.float32).key
+        probe.cache_dir.mkdir(parents=True, exist_ok=True)
+        probe.path.write_text(
+            json.dumps(
+                {
+                    "schema": autotune.PLAN_SCHEMA_VERSION,
+                    "key": probe.key,
+                    "plans": {
+                        key: {"plan": {"backend": "gone-backend"}},
+                    },
+                }
+            )
+        )
+        cache = PlanCache(tmp_path, tuner=Tuner(timer=_counting_timer()))
+        a = rng.standard_normal((1024, 4)).astype(np.float32)
+        b = rng.standard_normal((4, 4)).astype(np.float32)
+        with pytest.warns(RuntimeWarning, match="unknown backend"):
+            plan = cache.resolve_gemm(a, b, None)
+        # The bad entry was dropped, the class re-tuned fresh.
+        assert plan.backend != "gone-backend"
+        assert cache.tuner.microbenchmarks > 0
+
+
+class TestExplicitOverrides:
+    def test_explicit_plan_wins_over_auto_mode(self, plan_cache, rng):
+        a = rng.standard_normal((512, 8)).astype(np.float32)
+        b = rng.standard_normal((8, 8)).astype(np.float32)
+        forced = ExecutionPlan(block_rows=64)
+        with autotune.planning("auto"):
+            got = kernel_ops.gemm(a, b, plan=forced)
+        assert plan_cache.tuner.microbenchmarks == 0  # no tuning ran
+        with autotune.planning("reference"):
+            expected = kernel_ops.gemm(a, b)
+        np.testing.assert_allclose(got, expected, rtol=2e-3, atol=1e-4)
+
+    def test_explicit_backend_wins_over_auto_mode(self, plan_cache, medium_graph, rng):
+        x = rng.standard_normal((medium_graph.num_vertices, 4)).astype(np.float32)
+        with autotune.planning("auto"):
+            got = kernel_ops.spmm(medium_graph, x, backend="numpy")
+        assert plan_cache.tuner.microbenchmarks == 0
+        expected = kernel_ops.spmm(medium_graph, x, backend="numpy")
+        np.testing.assert_array_equal(got, expected)
+
+
+class TestTrainConfigThreading:
+    def test_kernel_plan_validated(self):
+        from repro.train.config import TrainConfig
+
+        assert TrainConfig(kernel_plan="auto").kernel_plan == "auto"
+        with pytest.raises(ValueError, match="kernel_plan"):
+            TrainConfig(kernel_plan="warp-speed")
+
+    def test_auto_training_f1_within_fast_policy_tolerance(
+        self, plan_cache, ppi_small
+    ):
+        # The downstream acceptance property: a run under autotuned
+        # dispatch lands within 0.01 F1 of the same run under the
+        # pinned reference policy.
+        from repro.train.config import TrainConfig
+        from repro.train.trainer import GraphSamplingTrainer
+
+        scores = {}
+        for mode in ("reference", "auto"):
+            config = TrainConfig(
+                hidden_dims=(32, 32), epochs=1, seed=3, kernel_plan=mode
+            )
+            with GraphSamplingTrainer(ppi_small, config) as trainer:
+                scores[mode] = trainer.train().final_val_f1
+        assert abs(scores["auto"] - scores["reference"]) <= 0.01

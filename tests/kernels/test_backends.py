@@ -92,6 +92,30 @@ class TestAdjacencyCache:
         gc.collect()
         assert key not in backends._ADJACENCY_CACHE
 
+    def test_stats_count_hits_misses_and_live_entries(self):
+        graph = edges_to_csr(np.array([[0, 1], [1, 2]]), 3)
+        before = backends.adjacency_cache_stats()
+        adjacency_matrix(graph)  # miss (fresh graph object)
+        adjacency_matrix(graph)  # hit
+        adjacency_matrix(graph)  # hit
+        after = backends.adjacency_cache_stats()
+        assert after["misses"] == before["misses"] + 1
+        assert after["hits"] == before["hits"] + 2
+        assert after["live_entries"] >= 1
+
+    def test_obs_counters_track_the_memo_cache(self):
+        from repro import obs
+        from repro.obs import metrics as obs_metrics
+
+        graph = edges_to_csr(np.array([[0, 1], [0, 2]]), 3)
+        obs.reset()
+        with obs.enabled():
+            adjacency_matrix(graph)
+            adjacency_matrix(graph)
+        counters = obs_metrics.snapshot()["counters"]
+        assert counters["kernels.adjacency_cache.misses"] == 1
+        assert counters["kernels.adjacency_cache.hits"] == 1
+
 
 class TestSegmentSum:
     def test_matches_manual_sums_with_empty_segments(self, rng):
@@ -116,6 +140,29 @@ class TestSegmentSum:
         returned = segment_sum(values, indptr, 2, out=out)
         assert returned is out
         np.testing.assert_allclose(out[1], values[1:].sum(axis=0))
+
+
+class TestBlockedBackend:
+    def test_registered_and_matches_default_within_tolerance(self, rng):
+        assert "blocked" in available_backends()
+        a = rng.standard_normal((3000, 16)).astype(np.float32)
+        b = rng.standard_normal((16, 8)).astype(np.float32)
+        expected = get_backend("numpy").gemm(a, b, None)
+        got = get_backend("blocked").gemm(a, b, None)
+        np.testing.assert_allclose(got, expected, rtol=2e-3, atol=1e-4)
+
+    def test_partial_final_panel_and_out_buffer(self, rng):
+        gemm = backends.make_blocked_gemm(7)  # 20 rows -> 2 full + 1 ragged
+        a = rng.standard_normal((20, 3))
+        b = rng.standard_normal((3, 2))
+        out = np.empty((20, 2))
+        returned = gemm(a, b, out)
+        assert returned is out
+        np.testing.assert_allclose(out, a @ b, rtol=1e-12)
+
+    def test_rejects_nonpositive_block(self):
+        with pytest.raises(ValueError, match="block_rows"):
+            backends.make_blocked_gemm(0)
 
 
 class TestBackendAgreement:

@@ -30,6 +30,7 @@ DOC_FILES = (
     "EXPERIMENTS.md",
     "ROADMAP.md",
     "docs/architecture.md",
+    "docs/kernels.md",
     "docs/observability.md",
     "docs/paper_mapping.md",
     "docs/sampling.md",
