@@ -16,12 +16,21 @@ Observability (see ``docs/observability.md``)::
 
     python -m repro.cli train-bench --out results/
     python -m repro.cli obs-report --trace results/OBS_train_bench.json
+    python -m repro.cli obs-report --trace results/OBS_serve_cluster.json --exemplars
+    python -m repro.cli obs-report --trace results/OBS_serve_cluster.json --request t1.req-000042
+    python -m repro.cli flight-dump --out results/
 
 ``train-bench`` runs one instrumented training run and exports the trace
 (``OBS_train_bench.json`` + a Chrome ``trace_event`` file next to it);
 ``obs-report`` renders the per-phase breakdown table of any exported
-trace. Each subcommand prints the paper-style table; ``--out DIR``
-additionally writes it to ``DIR/<name>.txt``.
+trace — or, with ``--exemplars``, the retained tail exemplars (the
+concrete slow requests behind the percentiles), or, with ``--request
+<id>``, that request's span tree with its critical path marked (works on
+trace documents and flight dumps alike); ``flight-dump`` runs a small
+hedged replay and writes the flight recorder's ring buffers as an
+``OBS_flightdump_*.json`` diagnostic bundle on demand. Each subcommand
+prints the paper-style table; ``--out DIR`` additionally writes it to
+``DIR/<name>.txt``.
 
 Continuous performance observability::
 
@@ -35,8 +44,11 @@ environment fingerprint) to the JSONL history store; ``bench-diff``
 compares the current records against their history series
 (Mann–Whitney U + bootstrap CI, see :mod:`repro.obs.regress`);
 ``bench-gate`` does the same and exits 1 on any ``regressed`` verdict;
-``slo-report`` runs a small instrumented training + serving workload and
-evaluates the standing SLO rules (:mod:`repro.obs.slo`) against it.
+``slo-report`` runs a small instrumented training + serving + hedged
+cluster workload and evaluates the standing SLO rules
+(:mod:`repro.obs.slo`) against it — any breach auto-produces a
+debounced flight dump next to the report (``--force-breach``
+demonstrates that path with impossible thresholds).
 
 Kernel dispatch tooling (see ``docs/kernels.md``)::
 
@@ -197,6 +209,8 @@ def _run_serve_bench(args: argparse.Namespace, out: pathlib.Path | None) -> None
         )
         _emit("serve_cluster", serving.format_cluster_results(results), out)
         if out is not None:
+            import json
+
             samples = {
                 f"latency_s.{config}": values
                 for config, values in results.get("latency_samples", {}).items()
@@ -204,11 +218,22 @@ def _run_serve_bench(args: argparse.Namespace, out: pathlib.Path | None) -> None
             path = write_bench_json(
                 out / "BENCH_serve_cluster.json",
                 "serve_cluster",
-                {k: v for k, v in results.items() if k != "latency_samples"},
+                {
+                    k: v
+                    for k, v in results.items()
+                    if k not in ("latency_samples", "trace_doc")
+                },
                 samples=samples,
                 env=_fingerprint(args),
             )
             print(f"[written to {path}]")
+            # The hedged replay's request span forest + tail exemplars:
+            # obs-report --exemplars / --request read this document.
+            obs_path = out / "OBS_serve_cluster.json"
+            obs_path.write_text(
+                json.dumps(results["trace_doc"], indent=2) + "\n"
+            )
+            print(f"[written to {obs_path}]")
         return
     results = serving.run(
         num_queries=args.queries,
@@ -426,15 +451,42 @@ def _run_train_bench(args: argparse.Namespace, out: pathlib.Path | None) -> None
         print(f"[written to {path}]\n[written to {chrome}]")
 
 
-def _run_obs_report(args: argparse.Namespace, out: pathlib.Path | None) -> None:
-    """Render the per-phase breakdown of an exported trace document."""
+def _run_obs_report(args: argparse.Namespace, out: pathlib.Path | None) -> int:
+    """Render an exported trace document (``OBS_*.json``).
+
+    Default: the per-phase breakdown table. ``--exemplars`` renders the
+    tail-exemplar table instead (the concrete slow requests retained by
+    the latency histograms); ``--request <id>`` prints that request's
+    span tree with its critical path marked. Both work on trace
+    documents and on flight-recorder dumps (``OBS_flightdump_*.json``) —
+    any file whose ``"spans"`` list holds exported span trees.
+    """
+    from .obs import context as obs_context
     from .obs import export as obs_export
 
     if args.trace is None:
         print("obs-report requires --trace PATH (an OBS_*.json export)")
         raise SystemExit(2)
     doc = obs_export.load_trace(args.trace)
+    if args.request is not None:
+        roots = doc.get("spans", [])
+        node = obs_context.find_request(roots, args.request)
+        if node is None:
+            ids = obs_context.request_ids(roots)
+            preview = ", ".join(ids[:10]) if ids else "(none)"
+            more = f", … ({len(ids)} total)" if len(ids) > 10 else ""
+            print(
+                f"obs-report: request {args.request!r} not found in "
+                f"{args.trace}; available ids: {preview}{more}"
+            )
+            return 1
+        _emit("obs_request", obs_context.render_request_tree(node), out)
+        return 0
+    if args.exemplars:
+        _emit("obs_exemplars", obs_export.render_exemplars(doc), out)
+        return 0
     _emit("obs_report", obs_export.render_report(doc), out)
+    return 0
 
 
 def _fingerprint(args: argparse.Namespace) -> dict[str, str]:
@@ -514,20 +566,100 @@ def _run_bench_gate(args: argparse.Namespace, out: pathlib.Path | None) -> int:
     return 1 if verdict == VERDICT_REGRESSED else 0
 
 
+def _hedged_cluster_replay(*, queries: int, seed: int):
+    """Small hedged cluster replay over a straggler replica set.
+
+    Run with :mod:`repro.obs` enabled: the bursty trace plus a slow last
+    replica make hedges actually fire, so the flight recorder's ring and
+    the request span forest end up holding hedged duplicates with the
+    winner marked — the material ``flight-dump`` and ``slo-report``
+    breach dumps are expected to contain.
+    """
+    from .serving.cluster import ClusterConfig, ClusterServer
+    from .serving.workload import bursty_trace
+
+    rng = np.random.default_rng(seed)
+    emb = rng.standard_normal((1024, 16))
+    replicas = 2
+
+    def straggler(shard, replica, batch_size, rows):
+        base = 8e-4 + 2e-8 * rows
+        return base * (6.0 if replica == replicas - 1 else 1.0)
+
+    server = ClusterServer(
+        emb,
+        config=ClusterConfig(
+            num_shards=3,
+            replicas=replicas,
+            fanout=2,
+            hedge=True,
+            hedge_min_samples=32,
+            hedge_fallback=0.005,
+        ),
+        service_model=straggler,
+        rng=np.random.default_rng(seed + 1),
+    )
+    trace = bursty_trace(
+        queries, 1024, skew=1.1, base_rate=800.0, burst_rate=6000.0,
+        base_seconds=0.4, burst_seconds=0.1, k=10,
+        rng=np.random.default_rng(seed + 2),
+    )
+    return server.serve_trace(trace)
+
+
+def _run_flight_dump(args: argparse.Namespace, out: pathlib.Path | None) -> None:
+    """Trigger an on-demand flight-recorder dump.
+
+    Runs one small instrumented hedged-cluster replay so the recorder's
+    rings hold fresh request trees and events, then writes the
+    ``OBS_flightdump_manual_*.json`` bundle to ``--out`` (default: the
+    current directory). Inspect it with ``obs-report --trace <dump>
+    --exemplars`` or ``--request <id>``.
+    """
+    from . import obs
+    from .obs.flight import get_flight_recorder
+
+    obs.reset()
+    with obs.enabled():
+        replay = _hedged_cluster_replay(
+            queries=min(args.queries, 600), seed=args.seed
+        )
+        path = get_flight_recorder().dump(
+            "manual", out_dir=out, reason="cli flight-dump"
+        )
+    print(
+        f"flight-dump: replayed {replay.metrics.served} requests "
+        f"({int(replay.stats.get('hedges', 0))} hedges fired)"
+    )
+    print(f"[written to {path}]")
+
+
 def _run_slo_report(args: argparse.Namespace, out: pathlib.Path | None) -> int:
     """Evaluate the standing SLO rules against a real train+serve run.
 
     One small instrumented training run (the span-coverage and
     flop-drift rules read its tracer/counters; the expected flop count
     comes from the always-on kernel accounting captured over the same
-    window) plus one serving trace replay (the deadline rule reads its
-    latency samples). Exits 1 on any breach when ``--strict``.
+    window), one serving trace replay (the deadline rule reads its
+    latency samples), and one hedged cluster replay (the per-shard p99
+    and staleness rules read its registry histograms). The flight
+    recorder is pointed at ``--out``, so any breach auto-produces an
+    ``OBS_flightdump_slo_breach_*.json`` bundle next to the report;
+    ``--force-breach`` sets impossible thresholds to demonstrate that
+    path on demand. Exits 1 on any breach when ``--strict``.
     """
     from . import obs
     from .experiments.common import EXPERIMENT_SCALES
     from .graphs.datasets import make_dataset
     from .kernels import accounting
-    from .obs.slo import SLOContext, default_rules, evaluate, render_slo_report
+    from .obs.flight import get_flight_recorder
+    from .obs.slo import (
+        SLOContext,
+        cluster_rules,
+        default_rules,
+        evaluate,
+        render_slo_report,
+    )
     from .serving.server import EmbeddingServer, ServerConfig
     from .serving.workload import zipf_trace
     from .train.config import TrainConfig
@@ -542,12 +674,16 @@ def _run_slo_report(args: argparse.Namespace, out: pathlib.Path | None) -> int:
         seed=args.seed,
     )
     obs.reset()
+    recorder = get_flight_recorder()
+    if out is not None:
+        recorder.out_dir = out
+    dumps_before = recorder.dump_count
     with obs.enabled(), accounting.capture() as kernel_costs:
         trainer = GraphSamplingTrainer(dataset, config)
         trainer.train()
         rng = np.random.default_rng(args.seed)
         embeddings = rng.standard_normal((2048, 32))
-        deadline = args.deadline_ms / 1e3
+        deadline = 0.0 if args.force_breach else args.deadline_ms / 1e3
         server = EmbeddingServer(
             embeddings,
             config=ServerConfig(max_batch=32, queue_capacity=256),
@@ -559,12 +695,32 @@ def _run_slo_report(args: argparse.Namespace, out: pathlib.Path | None) -> int:
             rng=np.random.default_rng(args.seed + 1),
         )
         replay = server.serve_trace(trace)
+        cluster_replay = _hedged_cluster_replay(
+            queries=min(args.queries, 600), seed=args.seed
+        )
         ctx = SLOContext(
             serving=replay.metrics,
             expected_flops=kernel_costs.total_flops,
         )
-        results = evaluate(default_rules(deadline=deadline), ctx)
-    _emit("slo_report", render_slo_report(results), out)
+        rules = default_rules(deadline=deadline) + cluster_rules(
+            per_shard_p99=0.0 if args.force_breach else 0.5,
+            staleness_bound=5.0,
+        )
+        results = evaluate(rules, ctx)
+    text = render_slo_report(results)
+    if recorder.dump_count > dumps_before:
+        dumps = sorted(
+            pathlib.Path(recorder.out_dir or ".").glob(
+                "OBS_flightdump_slo_breach_*.json"
+            )
+        )
+        if dumps:
+            text += f"\n\nflight dump (breach): {dumps[-1]}"
+    text += (
+        f"\n(cluster replay: {cluster_replay.metrics.served} served, "
+        f"{int(cluster_replay.stats.get('hedges', 0))} hedges fired)"
+    )
+    _emit("slo_report", text, out)
     breached = any(not r.ok for r in results)
     return 1 if (breached and args.strict) else 0
 
@@ -753,6 +909,7 @@ _COMMANDS = {
     "sampler-bench": _run_sampler_bench,
     "train-bench": _run_train_bench,
     "obs-report": _run_obs_report,
+    "flight-dump": _run_flight_dump,
     "bench-record": _run_bench_record,
     "bench-diff": _run_bench_diff,
     "bench-gate": _run_bench_gate,
@@ -769,6 +926,7 @@ _COMMANDS = {
 _EXCLUDED_FROM_ALL = frozenset(
     {
         "obs-report",
+        "flight-dump",
         "bench-record",
         "bench-diff",
         "bench-gate",
@@ -922,6 +1080,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="obs-report: path to an exported OBS_*.json / trace document",
     )
     parser.add_argument(
+        "--exemplars",
+        action="store_true",
+        help="obs-report: render the tail-exemplar table instead of the "
+        "per-phase breakdown",
+    )
+    parser.add_argument(
+        "--request",
+        default=None,
+        help="obs-report: print this request id's span tree (with its "
+        "critical path marked) instead of the per-phase breakdown",
+    )
+    parser.add_argument(
         "--results",
         type=pathlib.Path,
         default=pathlib.Path("benchmarks") / "results",
@@ -989,6 +1159,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict",
         action="store_true",
         help="slo-report: exit 1 when any SLO rule is breached",
+    )
+    parser.add_argument(
+        "--force-breach",
+        action="store_true",
+        help="slo-report: evaluate with impossible thresholds so a "
+        "breach (and its automatic flight dump) is guaranteed",
     )
     return parser
 

@@ -28,6 +28,7 @@ import time
 import numpy as np
 
 from .. import obs
+from ..obs.export import trace_document
 from ..obs.slo import SLOContext, cluster_rules, evaluate
 from ..serving.cluster import ClusterConfig, ClusterServer
 from ..serving.index import BruteForceIndex, recall_at_k
@@ -445,7 +446,18 @@ def run_cluster(
         )
         if assignment is None:  # reuse the partition across both runs
             assignment = server.sharded.assignment
-        replay = server.serve_trace(btrace)
+        if hedged:
+            # The hedged replay runs under obs so its request span
+            # forest (hedged duplicates, winner marked) and the tail
+            # exemplars that point into it are captured into the
+            # OBS_serve_cluster.json document the CLI writes — every
+            # p99 exemplar must resolve to a full span tree there.
+            with obs.enabled():
+                obs.reset()
+                replay = server.serve_trace(btrace)
+                trace_doc = trace_document("serve_cluster_hedged")
+        else:
+            replay = server.serve_trace(btrace)
         name = "bursty+hedge" if hedged else "bursty-nohedge"
         hedge_results[hedged] = replay
         latency_samples[name] = [
@@ -513,6 +525,9 @@ def run_cluster(
         # appends to the history store and bench-gate tests against.
         "latency_samples": latency_samples,
         "slo": slo_rows,
+        # Request span forest + tail exemplars of the hedged replay
+        # (written to OBS_serve_cluster.json by serve-bench --cluster).
+        "trace_doc": trace_doc,
         "meta": {
             "num_vertices": num_vertices,
             "soak_vertices": soak_vertices,

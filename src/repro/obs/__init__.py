@@ -13,7 +13,13 @@ subsystem:
   :class:`~repro.obs.metrics.LatencyHistogram`);
 * :mod:`repro.obs.export` — JSON trace documents, Chrome
   ``trace_event`` files, and the flat ``OBS_<name>.json`` summaries that
-  sit next to the bench harness's ``BENCH_<name>.json``.
+  sit next to the bench harness's ``BENCH_<name>.json``;
+* :mod:`repro.obs.context` — request-scoped tracing: per-request span
+  trees (admission → batch → shard fan-out → hedged duplicates) that
+  make individual tail requests reconstructable by id;
+* :mod:`repro.obs.flight` — the flight recorder: ring buffers of recent
+  root spans and events, dumped to ``OBS_flightdump_*.json`` on SLO
+  breach (debounced) or on demand.
 
 Everything is **off by default** and costs one attribute read per call
 site when disabled (see :mod:`repro.obs._gate`); enable it with::
@@ -32,8 +38,10 @@ or from the command line::
 See ``docs/observability.md`` for the full guide.
 """
 
-from . import export, history, metrics, record, regress, slo
+from . import context, export, flight, history, metrics, record, regress, slo
 from ._gate import enabled, is_enabled, set_enabled
+from .context import RequestContext
+from .flight import FlightRecorder, flight_event, get_flight_recorder
 from .metrics import (
     Counter,
     Gauge,
@@ -79,17 +87,31 @@ __all__ = [
     "history",
     "regress",
     "slo",
+    "context",
+    "flight",
+    "RequestContext",
+    "FlightRecorder",
+    "flight_event",
+    "get_flight_recorder",
     "reset",
 ]
 
+# The flight recorder rides the tracer's root sink from the start, so
+# "always on" holds without any subsystem opting in.
+flight.get_flight_recorder()
+
 
 def reset() -> None:
-    """Clear both the global tracer and the metrics registry.
+    """Clear the tracer, the metrics registry, request-id counters and
+    the flight recorder's buffers.
 
     Bench runners call this before each workload so one process can
-    export several independent ``OBS_*.json`` files.
+    export several independent ``OBS_*.json`` files with reproducible
+    request ids.
     """
     from . import trace as _trace
 
     _trace.reset()
     metrics.reset()
+    context.reset_ids()
+    flight.get_flight_recorder().clear()

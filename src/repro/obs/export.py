@@ -29,6 +29,7 @@ __all__ = [
     "write_obs_json",
     "load_trace",
     "render_report",
+    "render_exemplars",
 ]
 
 
@@ -55,6 +56,7 @@ def span_to_dict(sp: Span) -> dict:
         "t_end": sp.t_end,
         "duration": sp.duration,
         "sim_time": sp.sim_time,
+        "tid": sp.tid,
         "attrs": _jsonable(sp.attrs),
         "children": [span_to_dict(c) for c in sp.children],
     }
@@ -80,6 +82,7 @@ def trace_document(
         "env": environment_fingerprint(),
         "phases": {k: v.as_dict() for k, v in phases.items()},
         "metrics": _jsonable(registry.snapshot()),
+        "exemplars": _jsonable(registry.exemplar_snapshot()),
         "kernel_classes": _jsonable(kernel_accounting.per_class_snapshot()),
         "spans": [span_to_dict(r) for r in tracer.roots],
     }
@@ -91,11 +94,27 @@ def to_chrome_trace(roots: list[Span]) -> list[dict]:
     Timestamps are microseconds relative to the earliest root so the
     viewer opens at t=0 regardless of the clock's epoch. Open spans
     (no ``t_end``) are skipped — they have no extent to draw.
+
+    Each recording thread gets its own lane: span ``tid`` values
+    (python thread idents) are remapped to dense small ints in
+    first-seen order, so the lane numbering is deterministic for a
+    given trace regardless of what idents the OS handed out. Spans with
+    no thread (virtual-clock request trees) share lane 0 with the first
+    thread seen.
     """
     if not roots:
         return []
     t0 = min(r.t_start for r in roots)
     events: list[dict] = []
+    lanes: dict[int | None, int] = {}
+
+    def lane(tid: int | None) -> int:
+        if tid is None:
+            return 0
+        n = lanes.get(tid)
+        if n is None:
+            n = lanes[tid] = len(lanes)
+        return n
 
     def emit(sp: Span) -> None:
         if sp.t_end is not None:
@@ -106,7 +125,7 @@ def to_chrome_trace(roots: list[Span]) -> list[dict]:
                     "ts": (sp.t_start - t0) * 1e6,
                     "dur": sp.duration * 1e6,
                     "pid": 0,
-                    "tid": 0,
+                    "tid": lane(sp.tid),
                     "args": _jsonable({**sp.attrs, "sim_time": sp.sim_time}),
                 }
             )
@@ -164,6 +183,7 @@ def write_obs_json(
         "env": environment_fingerprint(),
         "phases": {k: v.as_dict() for k, v in aggregate(tracer.roots).items()},
         "metrics": _jsonable(registry.snapshot()),
+        "exemplars": _jsonable(registry.exemplar_snapshot()),
     }
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -218,3 +238,30 @@ def render_report(doc: dict) -> str:
         ]
         table += "\n\n" + format_table(counter_rows, title="counters")
     return table
+
+
+def render_exemplars(doc: dict) -> str:
+    """Tail-exemplar table from an exported document.
+
+    One row per retained exemplar (largest values first per histogram):
+    the concrete slow requests behind the aggregate percentiles, with
+    the request id to feed to ``obs-report --request``.
+    """
+    exemplars = doc.get("exemplars", {})
+    rows = []
+    for hist_name, entries in sorted(exemplars.items()):
+        for e in entries:
+            rows.append(
+                {
+                    "histogram": hist_name,
+                    "value_ms": 1e3 * (e.get("value") or 0.0),
+                    "request_id": e.get("request_id"),
+                    "span_ref": e.get("span_ref") or "-",
+                }
+            )
+    title = f"tail exemplars: {doc.get('obs', '?')}"
+    if not rows:
+        return f"{title}\n(no exemplars retained)"
+    from ..experiments.common import format_table
+
+    return format_table(rows, title=title)

@@ -27,6 +27,8 @@ re-exports in the other direction.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ._gate import GATE
@@ -34,6 +36,7 @@ from ._gate import GATE
 __all__ = [
     "Counter",
     "Gauge",
+    "Exemplar",
     "Histogram",
     "LatencyHistogram",
     "MetricsRegistry",
@@ -82,15 +85,114 @@ class Gauge:
         self.value = float("nan")
 
 
+@dataclass(frozen=True)
+class Exemplar:
+    """A concrete sample worth keeping a handle to.
+
+    Ties one histogram value back to the request that produced it
+    (``request_id``) and, optionally, a span reference (``span_ref``,
+    e.g. the trace document that holds the request's span tree) — the
+    jump-off point from "p99 regressed" to one reconstructable request.
+    """
+
+    value: float
+    request_id: str
+    span_ref: str | None = None
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready form."""
+        return {
+            "value": self.value,
+            "request_id": self.request_id,
+            "span_ref": self.span_ref,
+        }
+
+
+#: Reservoir capacity per histogram. Sized so every above-p99 sample of a
+#: bench-scale replay (a few thousand requests → a few tens above p99)
+#: survives min-eviction.
+EXEMPLAR_CAPACITY = 32
+
+#: Trailing window over which the admission threshold (p95) is computed.
+_EXEMPLAR_WINDOW = 256
+
+#: Samples required before the trailing p95 is trusted; during warmup
+#: every candidate is admitted (min-eviction cleans them out later).
+_EXEMPLAR_WARMUP = 20
+
+#: Samples between recomputations of the trailing p95. The threshold is
+#: allowed to go this stale: an exact per-sample ``np.percentile`` would
+#: dominate the serve hot path (see ``tests/obs/test_overhead.py``), and
+#: admission only needs to be *biased* toward the tail — min-eviction
+#: still guarantees the largest values survive.
+_EXEMPLAR_REFRESH = 32
+
+
 class Histogram:
     """Sample accumulator with exact percentile queries.
 
     Keeps every sample (these are bench/test-scale runs, not a prod
     telemetry pipeline) so percentiles match ``np.percentile`` exactly.
+
+    A bounded reservoir of :class:`Exemplar` rides along: callers that
+    know which request produced a sample offer it via
+    :meth:`record_exemplar`, and the reservoir keeps the ones biased
+    toward the tail — above the trailing p95 of the last
+    ``_EXEMPLAR_WINDOW`` samples, evicting the smallest-valued exemplar
+    when full. The retained set is therefore the largest admitted values
+    seen, so every above-p99 request of a replay stays resolvable.
     """
 
     def __init__(self) -> None:
         self._samples: list[float] = []
+        self._exemplars: list[Exemplar] = []
+        self._p95_cache: float | None = None
+        self._p95_at = 0
+
+    def _trailing_p95(self) -> float | None:
+        """Admission threshold, or ``None`` while still warming up.
+
+        Recomputed from the trailing window only every
+        ``_EXEMPLAR_REFRESH`` samples; in between the cached value is
+        served so the hot path stays cheap.
+        """
+        n = len(self._samples)
+        if n < _EXEMPLAR_WARMUP:
+            return None
+        if self._p95_cache is None or n - self._p95_at >= _EXEMPLAR_REFRESH:
+            window = self._samples[-_EXEMPLAR_WINDOW:]
+            self._p95_cache = float(np.percentile(np.asarray(window), 95))
+            self._p95_at = n
+        return self._p95_cache
+
+    def record_exemplar(
+        self, value: float, request_id: str, span_ref: str | None = None
+    ) -> bool:
+        """Offer an exemplar for ``value``; returns True if retained.
+
+        Call after :meth:`record`-ing the sample itself so the trailing
+        threshold includes it. Sub-threshold candidates are dropped once
+        the histogram is warm; when the reservoir is full the smallest
+        exemplar makes room, so retention is biased to the tail.
+        """
+        value = float(value)
+        threshold = self._trailing_p95()
+        if threshold is not None and value < threshold:
+            return False
+        ex = Exemplar(value, request_id, span_ref)
+        if len(self._exemplars) < EXEMPLAR_CAPACITY:
+            self._exemplars.append(ex)
+            return True
+        lo = min(range(len(self._exemplars)), key=lambda i: self._exemplars[i].value)
+        if self._exemplars[lo].value < value:
+            self._exemplars[lo] = ex
+            return True
+        return False
+
+    @property
+    def exemplars(self) -> tuple[Exemplar, ...]:
+        """Retained exemplars, largest value first."""
+        return tuple(sorted(self._exemplars, key=lambda e: -e.value))
 
     def record(self, value: float) -> None:
         """Add one sample."""
@@ -150,8 +252,11 @@ class Histogram:
         }
 
     def reset(self) -> None:
-        """Drop all samples."""
+        """Drop all samples and exemplars."""
         self._samples.clear()
+        self._exemplars.clear()
+        self._p95_cache = None
+        self._p95_at = 0
 
 
 class LatencyHistogram(Histogram):
@@ -209,6 +314,19 @@ class MetricsRegistry:
             },
         }
 
+    def exemplar_snapshot(self) -> dict[str, list[dict[str, object]]]:
+        """Per-histogram exemplars (largest first), JSON-ready.
+
+        Only histograms that retained at least one exemplar appear —
+        this is the ``"exemplars"`` section of ``OBS_*.json`` documents
+        and flight dumps.
+        """
+        return {
+            k: [e.as_dict() for e in h.exemplars]
+            for k, h in sorted(self.histograms.items())
+            if h.exemplars
+        }
+
     def reset(self) -> None:
         """Drop every instrument (names included)."""
         self.counters.clear()
@@ -236,10 +354,23 @@ def set_gauge(name: str, v: float) -> None:
         REGISTRY.gauge(name).set(v)
 
 
-def observe(name: str, v: float) -> None:
-    """Guarded histogram sample (no-op while instrumentation is off)."""
+def observe(
+    name: str,
+    v: float,
+    request_id: str | None = None,
+    span_ref: str | None = None,
+) -> None:
+    """Guarded histogram sample (no-op while instrumentation is off).
+
+    When the caller knows which request produced the sample, passing
+    ``request_id`` (and optionally ``span_ref``) additionally offers the
+    sample to the histogram's tail-exemplar reservoir.
+    """
     if GATE.enabled:
-        REGISTRY.histogram(name).record(v)
+        h = REGISTRY.histogram(name)
+        h.record(v)
+        if request_id is not None:
+            h.record_exemplar(v, request_id, span_ref)
 
 
 def snapshot() -> dict[str, dict[str, float]]:

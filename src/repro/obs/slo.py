@@ -304,6 +304,13 @@ def evaluate(rules, ctx: SLOContext | None = None) -> list[SLOResult]:
     Breach counters are written directly to the context's registry
     (bypassing the kill-switch guards): an SLO evaluation is an explicit
     request for telemetry, not hot-path instrumentation.
+
+    Any breach additionally triggers a **debounced flight dump** (see
+    :mod:`repro.obs.flight`): the recorder's recent spans, events and
+    counter movement are bundled to disk the moment a rule goes red, so
+    the requests that caused the breach are captured before the buffers
+    roll over. The dump is best-effort — a recorder failure never turns
+    an SLO report into a crash.
     """
     ctx = ctx or SLOContext()
     registry = ctx.get_registry()
@@ -321,6 +328,18 @@ def evaluate(rules, ctx: SLOContext | None = None) -> list[SLOResult]:
                 registry.counter(f"slo.breach.{result.rule}").add()
         breaches = sum(1 for r in results if not r.ok)
         sp.set(rules=len(results), breaches=breaches)
+    if breaches:
+        from .flight import get_flight_recorder
+
+        breached = ",".join(r.rule for r in results if not r.ok)
+        try:
+            path = get_flight_recorder().maybe_dump(
+                "slo_breach", reason=f"slo breach: {breached}", registry=registry
+            )
+        except OSError:
+            path = None
+        if path is not None:
+            registry.counter("slo.flight_dumps").add()
     return results
 
 

@@ -15,7 +15,7 @@ trainer iteration produces a tree (iteration â†’ forward â†’ prop.forward â†’ â€
 that exports cleanly to Chrome ``trace_event`` JSON (see
 :mod:`repro.obs.export`).
 
-Two properties keep this usable on hot paths:
+Three properties keep this usable on hot paths:
 
 * **Kill switch** â€” when :func:`repro.obs.is_enabled` is ``False`` (the
   default), :func:`span` returns a shared no-op singleton: no object is
@@ -23,10 +23,21 @@ Two properties keep this usable on hot paths:
 * **Deterministic clock** â€” a :class:`Tracer` takes any ``clock``
   callable. Tests inject a counter clock so span durations (and therefore
   exported traces) are exactly reproducible.
+* **Thread safety** â€” the open-span stack is *thread-local* (a span
+  opened on a prefetch worker can never parent under whatever span the
+  consumer thread has open), roots are appended under a lock, and every
+  span records the ident of the thread that opened it so the Chrome
+  exporter can draw per-thread lanes.
+
+Completed *root* spans are additionally offered to a pluggable sink
+(:func:`set_root_sink`) â€” how the flight recorder
+(:mod:`repro.obs.flight`) sees finished span trees without the tracer
+importing it.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 
@@ -40,6 +51,7 @@ __all__ = [
     "current_span",
     "get_tracer",
     "set_tracer",
+    "set_root_sink",
     "reset",
     "aggregate",
     "walk",
@@ -50,12 +62,24 @@ class Span:
     """One timed region; also its own context manager.
 
     Attributes are plain instance fields (``__slots__``) so entering a
-    span costs one object plus two clock reads.
+    span costs one object plus two clock reads. ``tid`` is the ident of
+    the opening thread (``None`` for spans built with explicit times,
+    e.g. the virtual-clock request spans of
+    :mod:`repro.obs.context`).
     """
 
-    __slots__ = ("name", "t_start", "t_end", "sim_time", "attrs", "children", "_tracer")
+    __slots__ = (
+        "name", "t_start", "t_end", "sim_time", "attrs", "children",
+        "_tracer", "tid",
+    )
 
-    def __init__(self, name: str, t_start: float, tracer: "Tracer | None") -> None:
+    def __init__(
+        self,
+        name: str,
+        t_start: float,
+        tracer: "Tracer | None",
+        tid: int | None = None,
+    ) -> None:
         self.name = name
         self.t_start = t_start
         self.t_end: float | None = None
@@ -63,6 +87,7 @@ class Span:
         self.attrs: dict[str, object] = {}
         self.children: list[Span] = []
         self._tracer = tracer
+        self.tid = tid
 
     # -- recording -----------------------------------------------------
     def set(self, **attrs: object) -> "Span":
@@ -126,6 +151,22 @@ class _NoopSpan:
 
 NOOP_SPAN = _NoopSpan()
 
+#: Completed-root sink (installed by :mod:`repro.obs.flight`); called
+#: with each root span the moment it finishes. Process-wide on purpose:
+#: the flight recorder should see roots from every tracer.
+_ROOT_SINK = None
+
+
+def set_root_sink(sink) -> None:
+    """Install ``sink(span)`` to observe completed root spans.
+
+    ``None`` uninstalls. The sink runs on whatever thread finished the
+    root, so it must be thread-safe (the flight recorder's ring buffer
+    appends are).
+    """
+    global _ROOT_SINK
+    _ROOT_SINK = sink
+
 
 class Tracer:
     """Collects a forest of spans on one injected clock.
@@ -136,43 +177,89 @@ class Tracer:
         Zero-argument callable returning monotonically non-decreasing
         floats; defaults to :func:`time.perf_counter`. Tests pass a
         deterministic counter so recorded durations are exact.
+
+    The open-span stack is kept per thread (``threading.local``): a span
+    opened by a prefetch worker becomes its own root (or a child of that
+    *worker's* open span), never a child of the consumer thread's stack.
+    ``roots`` is shared across threads and appended under a lock.
     """
 
     def __init__(self, clock=time.perf_counter) -> None:
         self.clock = clock
         self.roots: list[Span] = []
-        self._stack: list[Span] = []
+        self._local = threading.local()
+        self._roots_lock = threading.Lock()
+
+    @property
+    def _stack(self) -> list[Span]:
+        """This thread's open-span stack (created on first touch)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def span(self, name: str, **attrs: object) -> Span:
-        """Open a span as a child of the currently-active span."""
-        sp = Span(name, self.clock(), self)
+        """Open a span as a child of this thread's active span."""
+        sp = Span(name, self.clock(), self, tid=threading.get_ident())
         if attrs:
             sp.attrs.update(attrs)
-        if self._stack:
-            self._stack[-1].children.append(sp)
+        stack = self._stack
+        if stack:
+            stack[-1].children.append(sp)
         else:
+            with self._roots_lock:
+                self.roots.append(sp)
+        stack.append(sp)
+        return sp
+
+    def add_root(self, sp: Span) -> Span:
+        """Attach an externally-built (finished) span tree as a root.
+
+        The request-scoped virtual-clock traces of
+        :mod:`repro.obs.context` land here: they are constructed with
+        explicit timestamps rather than through the stack, but export,
+        aggregation and the flight recorder treat them like any other
+        root.
+        """
+        with self._roots_lock:
             self.roots.append(sp)
-        self._stack.append(sp)
+        if _ROOT_SINK is not None and sp.t_end is not None:
+            _ROOT_SINK(sp)
         return sp
 
     def _finish(self, sp: Span) -> None:
         sp.t_end = self.clock()
         # Tolerate out-of-order exits (e.g. a span leaked across an
-        # exception the caller swallowed): unwind to the finished span.
-        while self._stack:
-            top = self._stack.pop()
+        # exception the caller swallowed): unwind to the finished span,
+        # marking every silently-closed parent as leaked.
+        stack = self._stack
+        leaked = 0
+        while stack:
+            top = stack.pop()
             if top is sp:
                 break
             if top.t_end is None:
                 top.t_end = sp.t_end
+                top.attrs["leaked"] = True
+                leaked += 1
+        if leaked:
+            # Guarded write: Tracer is also used standalone in tests with
+            # the gate off, and the disabled path must record nothing.
+            from . import metrics as obs_metrics
+
+            obs_metrics.inc("obs.spans.leaked", leaked)
+        if not stack and _ROOT_SINK is not None:
+            _ROOT_SINK(sp)
 
     def current(self) -> Span | None:
-        """Innermost open span, or None outside any span."""
-        return self._stack[-1] if self._stack else None
+        """This thread's innermost open span, or None outside any span."""
+        stack = self._stack
+        return stack[-1] if stack else None
 
     def reset(self) -> None:
-        """Drop all recorded spans (open ones included)."""
-        self.roots.clear()
+        """Drop all recorded spans (this thread's open ones included)."""
+        with self._roots_lock:
+            self.roots.clear()
         self._stack.clear()
 
 

@@ -47,6 +47,7 @@ import numpy as np
 
 from ..obs import is_enabled as obs_enabled
 from ..obs import metrics as obs_metrics
+from ..obs.flight import flight_event
 from ..obs.trace import span
 from ..parallel.machine import MachineSpec
 from .base import GraphSampler, SampledSubgraph
@@ -209,6 +210,14 @@ class SubgraphPrefetcher:
             if producer_stall:
                 obs_metrics.observe(
                     "pipeline.producer_stall_seconds", producer_stall
+                )
+                # Producer stalls are exactly the "synchronization
+                # wins/regressions" signal later perf PRs hunt for, so
+                # they also land in the flight recorder's event ring.
+                flight_event(
+                    "pipeline.producer_stall",
+                    stall_seconds=producer_stall,
+                    queue_depth=self.ready(),
                 )
         return sub
 

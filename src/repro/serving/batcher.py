@@ -22,12 +22,19 @@ __all__ = ["Request", "MicroBatcher"]
 
 @dataclass(frozen=True)
 class Request:
-    """One k-NN query: vertex id, neighbor count, arrival time, sequence."""
+    """One k-NN query: vertex id, neighbor count, arrival time, sequence.
+
+    ``ctx`` optionally carries a :class:`repro.obs.context.RequestContext`
+    attached at admission, so every later hop (batch, shard, hedge) can
+    hang spans off the same per-request tree. ``compare=False`` keeps
+    request equality/ordering purely about the query itself.
+    """
 
     query_id: int
     k: int
     arrival: float
     seq: int = 0
+    ctx: object | None = field(default=None, compare=False)
 
 
 @dataclass

@@ -51,6 +51,8 @@ import numpy as np
 
 from ..obs import is_enabled as obs_enabled
 from ..obs import metrics as obs_metrics
+from ..obs import context as obs_context
+from ..obs.flight import flight_event
 from ..obs.trace import span
 from .batcher import MicroBatcher, Request
 from .cache import GenerationalCache
@@ -290,25 +292,37 @@ class _Replica:
 
 
 class _Query:
-    """One trace request fanned out over shards."""
+    """One trace request fanned out over shards.
 
-    __slots__ = ("qid", "k", "seq", "arrival", "subs", "dead")
+    ``ctx`` is the request's :class:`~repro.obs.context.RequestContext`
+    (``None`` with obs disabled): sub-request and dispatch spans hang
+    off it so the whole fan-out is reconstructable from the request id.
+    """
 
-    def __init__(self, qid: int, k: int, seq: int, arrival: float):
+    __slots__ = ("qid", "k", "seq", "arrival", "subs", "dead", "ctx")
+
+    def __init__(self, qid: int, k: int, seq: int, arrival: float, ctx=None):
         self.qid = qid
         self.k = k
         self.seq = seq
         self.arrival = arrival
         self.subs: list[_SubQuery] = []
         self.dead = False
+        self.ctx = ctx
 
 
 class _SubQuery:
-    """The logical (query, shard) unit; may be dispatched more than once."""
+    """The logical (query, shard) unit; may be dispatched more than once.
+
+    ``span`` is the sub-request's span under the query's context root
+    (closed at the winning completion); ``dspans`` collects one dispatch
+    span per enqueued copy so winner/lost marking can run at settle time.
+    """
 
     __slots__ = (
         "query", "shard", "unserviced", "best", "winner_is_hedge",
         "ids", "sims", "data_ts", "hedge_pending", "done",
+        "span", "winner_span", "dspans",
     )
 
     def __init__(self, query: _Query, shard: int):
@@ -322,6 +336,9 @@ class _SubQuery:
         self.data_ts = 0.0  # produced_at of the slab the winner served
         self.hedge_pending = False  # an unfired hedge trigger exists
         self.done = False
+        self.span = None
+        self.winner_span = None
+        self.dspans: list = []
 
     @property
     def resolved(self) -> bool:
@@ -336,12 +353,13 @@ class _SubQuery:
 class _Dispatch:
     """One enqueued copy of a sub-query on a specific replica."""
 
-    __slots__ = ("sub", "replica", "is_hedge")
+    __slots__ = ("sub", "replica", "is_hedge", "span")
 
     def __init__(self, sub: _SubQuery, replica: _Replica, is_hedge: bool):
         self.sub = sub
         self.replica = replica
         self.is_hedge = is_hedge
+        self.span = None
 
 
 class ClusterServer:
@@ -491,6 +509,10 @@ class ClusterServer:
         INF = float("inf")
         i, n = 0, len(trace)
         ids, arrivals = trace.query_ids, trace.arrivals
+        # Request-scoped tracing: one deterministic id namespace per
+        # replay, one RequestContext per admitted query while obs is on.
+        tracing = obs_enabled()
+        id_prefix = f"{obs_context.new_trace_id()}.req" if tracing else ""
 
         def _enqueue(sub: _SubQuery, replica: _Replica, t: float, is_hedge: bool) -> bool:
             d = _Dispatch(sub, replica, is_hedge)
@@ -499,6 +521,17 @@ class ClusterServer:
                 return False
             dispatches.append(d)
             sub.unserviced += 1
+            ctx = sub.query.ctx
+            if ctx is not None:
+                d.span = ctx.child(
+                    "cluster.dispatch",
+                    t,
+                    parent=sub.span,
+                    shard=sub.shard,
+                    replica=replica.idx,
+                    hedge=is_hedge,
+                )
+                sub.dspans.append(d.span)
             if obs_enabled():
                 obs_metrics.observe(
                     "cluster.replica_queue_depth", replica.outstanding(t)
@@ -517,8 +550,12 @@ class ClusterServer:
             metrics.observe_completion(q.arrival, completion)
             if obs_enabled():
                 obs_metrics.observe(
-                    "cluster.latency_seconds", max(completion - q.arrival, 0.0)
+                    "cluster.latency_seconds",
+                    max(completion - q.arrival, 0.0),
+                    request_id=q.ctx.request_id if q.ctx is not None else None,
                 )
+            if q.ctx is not None:
+                q.ctx.finish(completion, fanout=len(q.subs))
             if self.cache is not None:
                 self.cache.put(
                     (q.qid, q.k),
@@ -531,6 +568,12 @@ class ClusterServer:
         def _run_batch(replica: _Replica, t_start: float) -> None:
             batch = replica.batcher.take()
             alive = [dispatches[r.seq] for r in batch if not dispatches[r.seq].sub.query.dead]
+            for r in batch:
+                d = dispatches[r.seq]
+                if d.sub.query.dead and d.span is not None:
+                    # The query was shed after this copy was enqueued: the
+                    # copy never runs, matching a real cancellation signal.
+                    d.span.attrs["cancelled"] = True
             if not alive:
                 return  # shed queries only: no work, no time
             shard = replica.shard
@@ -568,9 +611,17 @@ class ClusterServer:
             for row, d in enumerate(alive):
                 sub = d.sub
                 sub.unserviced -= 1
+                if d.span is not None:
+                    d.span.t_end = completion
+                    d.span.set(
+                        queue_s=max(t_start - d.span.t_start, 0.0),
+                        service_s=duration,
+                        batch_size=len(alive),
+                    )
                 if sub.best is None or completion < sub.best:
                     sub.best = completion
                     sub.winner_is_hedge = d.is_hedge
+                    sub.winner_span = d.span
                     sub.ids = gids[row]
                     sub.sims = sims[row]
                     sub.data_ts = data_ts
@@ -578,6 +629,13 @@ class ClusterServer:
 
         def _admit(qid: int, t: float, seq: int) -> None:
             metrics.observe_arrival(t)
+            ctx = (
+                obs_context.RequestContext(
+                    obs_context.new_request_id(id_prefix), t, qid=qid, k=trace.k
+                )
+                if tracing
+                else None
+            )
             if self.cache is not None:
                 t0 = time.perf_counter()
                 hit = self.cache.get((qid, trace.k))
@@ -586,7 +644,14 @@ class ClusterServer:
                     metrics.cache_hits += 1
                     cost = lookup if self.service_model is None else 0.0
                     metrics.observe_completion(t, t + cost)
-                    if obs_enabled():
+                    if ctx is not None:
+                        ctx.child("cluster.cache_hit", t, t_end=t + cost)
+                        ctx.finish(t + cost)
+                        obs_metrics.observe(
+                            "cluster.latency_seconds", cost,
+                            request_id=ctx.request_id,
+                        )
+                    elif obs_enabled():
                         obs_metrics.observe("cluster.latency_seconds", cost)
                     if results is not None:
                         results[seq] = hit
@@ -603,7 +668,12 @@ class ClusterServer:
                 obs_metrics.observe("cluster.fanout_width", routed.size)
             stats["fanout_total"] += routed.size
             stats["routed_queries"] += 1
-            q = _Query(qid, trace.k, seq, t)
+            q = _Query(qid, trace.k, seq, t, ctx=ctx)
+            if ctx is not None:
+                ctx.child(
+                    "cluster.route", t, t_end=t,
+                    shards=[int(s) for s in routed],
+                )
             for s in routed:
                 s = int(s)
                 group = by_shard[s]
@@ -611,9 +681,20 @@ class ClusterServer:
                     [r.outstanding(t) for r in group]
                 )
                 sub = _SubQuery(q, s)
+                if ctx is not None:
+                    sub.span = ctx.child("cluster.subrequest", t, shard=s)
                 if not _enqueue(sub, group[pick], t, is_hedge=False):
                     q.dead = True
                     metrics.shed += 1
+                    if ctx is not None:
+                        ctx.finish(t, shed=True)
+                    flight_event(
+                        "cluster.shed",
+                        qid=qid,
+                        shard=s,
+                        virtual_t=t,
+                        request_id=ctx.request_id if ctx is not None else None,
+                    )
                     return
                 q.subs.append(sub)
                 stats["subqueries"] += 1
@@ -652,10 +733,26 @@ class ClusterServer:
             pick = LeastOutstandingDispatcher.pick(
                 [r.outstanding(t) for r in others]
             )
+            rid = (
+                sub.query.ctx.request_id if sub.query.ctx is not None else None
+            )
             if _enqueue(sub, others[pick], t, is_hedge=True):
                 stats["hedges"] += 1
+                flight_event(
+                    "cluster.hedge_fired",
+                    shard=sub.shard,
+                    virtual_t=t,
+                    request_id=rid,
+                    **policy.describe(),
+                )
             else:
                 stats["hedge_dropped"] += 1
+                flight_event(
+                    "cluster.hedge_dropped",
+                    shard=sub.shard,
+                    virtual_t=t,
+                    request_id=rid,
+                )
                 _settle(sub)
 
         while True:
@@ -711,9 +808,24 @@ class ClusterServer:
         stats["max_staleness_s"] = max(stats["max_staleness_s"], staleness)
         if sub.winner_is_hedge:
             stats["hedge_wins"] += 1
+        # Close the sub-request span at the winning completion and mark
+        # every dispatched copy's outcome on its span.
+        if sub.span is not None:
+            sub.span.t_end = sub.best
+            for dspan in sub.dspans:
+                if dspan is sub.winner_span:
+                    dspan.attrs["winner"] = True
+                elif "cancelled" not in dspan.attrs:
+                    dspan.attrs["lost"] = True
         if obs_enabled():
             obs_metrics.observe(
-                f"cluster.shard.{sub.shard}.latency_seconds", latency
+                f"cluster.shard.{sub.shard}.latency_seconds",
+                latency,
+                request_id=(
+                    sub.query.ctx.request_id
+                    if sub.query.ctx is not None
+                    else None
+                ),
             )
             obs_metrics.observe("cluster.staleness_seconds", staleness)
 

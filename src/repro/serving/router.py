@@ -163,3 +163,14 @@ class HedgePolicy:
         if len(self._hist) < self.min_samples:
             return self.fallback
         return float(self._hist.percentile(self.percentile))
+
+    def describe(self) -> dict[str, float]:
+        """Snapshot of the policy's state (attached to hedge spans and
+        flight-recorder events so a dump explains *why* a duplicate was
+        issued at that moment)."""
+        return {
+            "threshold": self.threshold(),
+            "samples": float(len(self._hist)),
+            "percentile": self.percentile,
+            "adaptive": float(len(self._hist) >= self.min_samples),
+        }

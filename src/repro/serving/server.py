@@ -30,6 +30,7 @@ import numpy as np
 
 from ..obs import is_enabled as obs_enabled
 from ..obs import metrics as obs_metrics
+from ..obs import context as obs_context
 from ..obs.trace import span
 from .batcher import MicroBatcher, Request
 from .cache import GenerationalCache
@@ -134,7 +135,12 @@ class EmbeddingServer:
         With :mod:`repro.obs` enabled, the replay records one
         ``serve.trace`` span with a ``serve.batch`` child per dispatched
         batch (the index scan itself under ``serve.search``), plus
-        admission/cache/shed counters on the shared registry.
+        admission/cache/shed counters on the shared registry. Every
+        request additionally gets its own
+        :class:`~repro.obs.context.RequestContext` span tree (queue wait
+        then batch service on the virtual clock), and its latency sample
+        carries the request id into the tail-exemplar reservoir — so any
+        slow request in the exported document is reconstructable by id.
         """
         # Scope the kernel plan mode to this replay's compute (the
         # index's similarity gemms resolve through the plan cache when
@@ -150,12 +156,6 @@ class EmbeddingServer:
             obs_metrics.inc("serve.shed", replay.metrics.shed)
             obs_metrics.inc("serve.cache_hits", replay.metrics.cache_hits)
             obs_metrics.inc("serve.cache_misses", replay.metrics.cache_misses)
-            # Serving latency lives in the obs registry too (one sample
-            # per served request), so histogram-based SLO rules and
-            # BenchRecord.from_registry see the same distribution the
-            # ServingMetrics report summarizes.
-            for sample in replay.metrics.latency.samples:
-                obs_metrics.observe("serve.latency_seconds", sample)
         return replay
 
     def _serve_trace(
@@ -171,6 +171,10 @@ class EmbeddingServer:
         results: dict[int, np.ndarray] | None = (
             {} if collect_results else None
         )
+        # Request-scoped tracing: one deterministic id namespace per
+        # replay, one RequestContext per arrival while obs is enabled.
+        tracing = obs_enabled()
+        id_prefix = f"{obs_context.new_trace_id()}.req" if tracing else ""
         busy_until = 0.0
         i, n = 0, len(trace)
         ids, arrivals = trace.query_ids, trace.arrivals
@@ -187,6 +191,13 @@ class EmbeddingServer:
             seq = i
             i += 1
             metrics.observe_arrival(t)
+            ctx = (
+                obs_context.RequestContext(
+                    obs_context.new_request_id(id_prefix), t, qid=qid, k=trace.k
+                )
+                if tracing
+                else None
+            )
             if self.cache is not None:
                 t0 = time.perf_counter()
                 hit = self.cache.get((qid, trace.k))
@@ -197,12 +208,21 @@ class EmbeddingServer:
                         lookup if self.service_model is None else 0.0
                     )
                     metrics.observe_completion(t, t + cost)
+                    if ctx is not None:
+                        ctx.child("serve.cache_hit", t, t_end=t + cost)
+                        ctx.finish(t + cost)
+                        obs_metrics.observe(
+                            "serve.latency_seconds", cost,
+                            request_id=ctx.request_id,
+                        )
                     if results is not None:
                         results[seq] = hit
                     continue
                 metrics.cache_misses += 1
-            if not batcher.offer(Request(qid, trace.k, t, seq)):
+            if not batcher.offer(Request(qid, trace.k, t, seq, ctx=ctx)):
                 metrics.shed += 1
+                if ctx is not None:
+                    ctx.finish(t, shed=True)
         metrics.last_completion = max(metrics.last_completion, busy_until)
         return TraceReplay(
             metrics=metrics,
@@ -263,11 +283,30 @@ class EmbeddingServer:
         completion = t_start + duration
         metrics.rows_scanned += rows
         metrics.service_time_total += duration
+        # Hoisted out of the per-request loop: one histogram lookup per
+        # batch instead of one guarded observe() per request.
+        latency_hist = (
+            obs_metrics.get_registry().histogram("serve.latency_seconds")
+            if obs_enabled()
+            else None
+        )
         for row, req in zip(idx, batch):
             answer = row[: req.k].copy()
             metrics.observe_completion(req.arrival, completion)
-            if self.cache is not None:
-                self.cache.put((req.query_id, req.k), answer)
+            if req.ctx is not None:
+                if t_start > req.arrival:
+                    req.ctx.child("serve.queue", req.arrival, t_end=t_start)
+                req.ctx.child(
+                    "serve.service", t_start, t_end=completion,
+                    size=len(batch), rows=rows,
+                )
+                req.ctx.finish(completion)
+                if latency_hist is not None:
+                    latency = completion - req.arrival
+                    latency_hist.record(latency)
+                    latency_hist.record_exemplar(latency, req.ctx.request_id)
             if results is not None:
                 results[req.seq] = answer
+            if self.cache is not None:
+                self.cache.put((req.query_id, req.k), answer)
         return completion

@@ -16,6 +16,23 @@ from repro.graphs import (
 )
 
 
+@pytest.fixture(autouse=True)
+def _flight_dumps_to_tmp(tmp_path):
+    """Keep breach-triggered flight dumps out of the repo root.
+
+    The process-wide flight recorder defaults its dump directory to the
+    cwd; any test that evaluates a breaching SLO rule would otherwise
+    litter ``OBS_flightdump_*.json`` next to the sources.
+    """
+    from repro.obs.flight import get_flight_recorder
+
+    recorder = get_flight_recorder()
+    prev = recorder.out_dir
+    recorder.out_dir = tmp_path
+    yield
+    recorder.out_dir = prev
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

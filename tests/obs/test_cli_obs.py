@@ -64,10 +64,36 @@ class TestParser:
     def test_maintenance_commands_excluded_from_all(self):
         from repro.cli import _COMMANDS, _EXCLUDED_FROM_ALL
 
-        assert {"bench-record", "bench-diff", "bench-gate", "slo-report"} <= (
-            _EXCLUDED_FROM_ALL
-        )
+        assert {
+            "bench-record",
+            "bench-diff",
+            "bench-gate",
+            "slo-report",
+            "flight-dump",
+        } <= _EXCLUDED_FROM_ALL
         assert _EXCLUDED_FROM_ALL <= set(_COMMANDS)
+
+    def test_tail_debug_knobs(self, tmp_path):
+        parser = build_parser()
+        assert parser.parse_args(["flight-dump"]).experiment == "flight-dump"
+        args = parser.parse_args(
+            ["obs-report", "--trace", str(tmp_path / "d.json"), "--exemplars"]
+        )
+        assert args.exemplars
+        assert args.request is None
+        args = parser.parse_args(
+            [
+                "obs-report",
+                "--trace",
+                str(tmp_path / "d.json"),
+                "--request",
+                "t1.req-000007",
+            ]
+        )
+        assert args.request == "t1.req-000007"
+        assert build_parser().parse_args(
+            ["slo-report", "--force-breach"]
+        ).force_breach
 
 
 class TestTrainBench:
@@ -231,6 +257,74 @@ class TestBenchGateFlow:
         assert not (tmp_path / "history").exists()
 
 
+class TestFlightDumpCli:
+    @pytest.fixture(scope="class")
+    def dump_out(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("flight_cli")
+        code = main(["flight-dump", "--queries", "150", "--out", str(out)])
+        assert code == 0
+        return out
+
+    def test_writes_a_manual_dump(self, dump_out):
+        dumps = sorted(dump_out.glob("OBS_flightdump_manual_*.json"))
+        assert dumps
+        doc = json.loads(dumps[0].read_text())
+        assert doc["kind"] == "flightdump"
+        assert doc["reason"] == "cli flight-dump"
+        assert doc["spans"]
+
+    def test_dump_spans_are_request_trees(self, dump_out):
+        from repro.obs.context import request_ids
+
+        dumps = sorted(dump_out.glob("OBS_flightdump_manual_*.json"))
+        doc = json.loads(dumps[0].read_text())
+        assert request_ids(doc["spans"])
+
+    def test_obs_report_request_reads_the_dump(self, dump_out, capsys):
+        from repro.obs.context import request_ids
+
+        dumps = sorted(dump_out.glob("OBS_flightdump_manual_*.json"))
+        doc = json.loads(dumps[0].read_text())
+        rid = request_ids(doc["spans"])[0]
+        code = main(["obs-report", "--trace", str(dumps[0]), "--request", rid])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert rid in text
+        assert "critical path" in text
+
+    def test_obs_report_unknown_request_fails_listing_ids(
+        self, dump_out, capsys
+    ):
+        dumps = sorted(dump_out.glob("OBS_flightdump_manual_*.json"))
+        code = main(
+            ["obs-report", "--trace", str(dumps[0]), "--request", "nope"]
+        )
+        assert code == 1
+        assert "not found" in capsys.readouterr().out
+
+
+class TestObsReportExemplars:
+    def test_renders_exemplars_from_trace_doc(self, tmp_path, capsys):
+        from repro.obs.export import write_trace_json
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.trace import Tracer
+
+        from .conftest import FakeClock
+
+        reg = MetricsRegistry()
+        hist = reg.histogram("serve.latency_seconds")
+        hist.record(0.123)
+        hist.record_exemplar(0.123, "t1.req-000042")
+        path = write_trace_json(
+            tmp_path / "OBS_x.json", "x", Tracer(clock=FakeClock()), reg
+        )
+        code = main(["obs-report", "--trace", str(path), "--exemplars"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "tail exemplars" in text
+        assert "t1.req-000042" in text
+
+
 class TestSloReport:
     def test_evaluates_the_standing_rules(self, tmp_path, capsys):
         code = main(
@@ -256,3 +350,68 @@ class TestSloReport:
             assert rule in text, rule
         # The instrumented run satisfies the repo's standing contracts.
         assert "all SLOs met" in text
+
+    def test_forced_breach_dumps_flight_recorder(self, tmp_path, capsys):
+        """The acceptance demo: a forced SLO breach during slo-report
+        auto-produces a flight dump, and ``obs-report --request`` on a
+        hedged request in that dump reconstructs a critical path that
+        covers >=95% of the recorded latency with the winner marked."""
+        import re
+
+        from repro.obs.context import request_ids
+
+        code = main(
+            [
+                "slo-report",
+                "--epoch-scale",
+                "0.34",
+                "--hidden",
+                "32",
+                "--queries",
+                "200",
+                "--force-breach",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0  # exit only flips under --strict
+        text = (tmp_path / "slo_report.txt").read_text()
+        assert "BREACH" in text
+        assert "flight dump (breach):" in text
+        dumps = sorted(tmp_path.glob("OBS_flightdump_slo_breach_*.json"))
+        assert dumps
+        doc = json.loads(dumps[0].read_text())
+        assert doc["reason"]  # names the breached rule(s)
+        # Pick a hedged request from the dump (the cluster replay
+        # hedges); prefer one whose hedged duplicate won the race.
+        def dispatches(root):
+            for sub in root.get("children", []):
+                for c in sub.get("children", []):
+                    yield c.get("attrs") or {}
+
+        hedged = [
+            root
+            for root in doc["spans"]
+            if any(a.get("hedge") for a in dispatches(root))
+        ]
+        assert hedged, "breach dump holds no hedged requests"
+        hedge_won = [
+            root
+            for root in hedged
+            if any(
+                a.get("hedge") and a.get("winner") for a in dispatches(root)
+            )
+        ]
+        rid = (hedge_won or hedged)[0]["attrs"]["request_id"]
+        assert rid in request_ids(doc["spans"])
+        capsys.readouterr()  # drop the slo-report stdout
+        assert (
+            main(["obs-report", "--trace", str(dumps[0]), "--request", rid])
+            == 0
+        )
+        tree = capsys.readouterr().out
+        marker = "[hedge/winner]" if hedge_won else "[winner]"
+        assert marker in tree
+        m = re.search(r"covers (\d+(?:\.\d+)?)% of it", tree)
+        assert m, tree
+        assert float(m.group(1)) >= 95.0

@@ -87,6 +87,51 @@ class TestChromeTrace:
         data = json.loads(path.read_text())
         assert len(data["traceEvents"]) == 2
 
+    def test_multithreaded_spans_get_per_thread_lanes(self):
+        """Spans opened on different threads land on distinct dense tid
+        lanes, numbered in first-seen order."""
+        import threading
+
+        tr = Tracer(clock=FakeClock(step=1.0))
+        with tr.span("main.work"):
+            pass
+
+        barrier = threading.Barrier(3)
+
+        def worker(name):
+            # All three rendezvous so their thread idents are distinct
+            # (a joined thread's ident can be reused by the next one).
+            barrier.wait()
+            with tr.span(name):
+                pass
+
+        threads = [
+            threading.Thread(target=worker, args=(f"worker.{i}",))
+            for i in range(3)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        events = to_chrome_trace(tr.roots)
+        by_name = {e["name"]: e["tid"] for e in events}
+        assert by_name["main.work"] == 0  # first-seen thread gets lane 0
+        worker_lanes = {by_name[f"worker.{i}"] for i in range(3)}
+        assert worker_lanes == {1, 2, 3}
+        assert all(e["pid"] == events[0]["pid"] for e in events)
+
+    def test_virtual_clock_spans_share_lane_zero(self):
+        """Request trees built with explicit timestamps (tid=None) render
+        on lane 0 rather than inventing a lane per span."""
+        from repro.obs.context import RequestContext
+
+        tr = Tracer(clock=FakeClock())
+        ctx = RequestContext("req-000001", 0.0)
+        ctx.child("serve.service", 0.0, t_end=1.0)
+        ctx.finish(1.0, tracer=tr)
+        events = to_chrome_trace(tr.roots)
+        assert {e["tid"] for e in events} == {0}
+
 
 class TestFileRoundtrips:
     def test_write_and_load_trace_json(self, tmp_path):
@@ -119,6 +164,50 @@ class TestFileRoundtrips:
         assert doc["metrics"]["counters"]["touched"] == 1.0
         path = export.write_obs_json(tmp_path / "OBS_global.json", "global")
         assert load_trace(path)["obs"] == "global"
+
+
+class TestExemplarRoundtrip:
+    def _registry_with_exemplars(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        hist = reg.histogram("serve.latency_seconds")
+        hist.record(0.250)
+        hist.record_exemplar(0.250, "t1.req-000007", "OBS_serve.json")
+        return reg
+
+    def test_trace_document_carries_exemplars(self):
+        doc = trace_document("demo", _small_trace(), self._registry_with_exemplars())
+        (entry,) = doc["exemplars"]["serve.latency_seconds"]
+        assert entry == {
+            "value": 0.250,
+            "request_id": "t1.req-000007",
+            "span_ref": "OBS_serve.json",
+        }
+        json.dumps(doc)  # strictly serializable with exemplars attached
+
+    def test_exemplars_survive_obs_json_roundtrip(self, tmp_path):
+        reg = self._registry_with_exemplars()
+        path = write_obs_json(tmp_path / "OBS_demo.json", "demo", _small_trace(), reg)
+        doc = load_trace(path)
+        (entry,) = doc["exemplars"]["serve.latency_seconds"]
+        assert entry["request_id"] == "t1.req-000007"
+        assert entry["value"] == 0.250
+
+    def test_span_to_dict_keeps_tid(self):
+        tr = _small_trace()
+        d = span_to_dict(tr.roots[0])
+        assert d["tid"] == tr.roots[0].tid
+        assert d["children"][0]["tid"] == tr.roots[0].children[0].tid
+
+    def test_render_exemplars_table_and_empty(self):
+        from repro.obs.export import render_exemplars
+
+        doc = trace_document("demo", _small_trace(), self._registry_with_exemplars())
+        text = render_exemplars(doc)
+        assert "tail exemplars: demo" in text
+        assert "t1.req-000007" in text
+        assert "250" in text  # value rendered in milliseconds
+        empty = render_exemplars({"obs": "empty", "exemplars": {}})
+        assert "no exemplars retained" in empty
 
 
 class TestRenderReport:

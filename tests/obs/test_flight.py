@@ -1,0 +1,203 @@
+"""Flight recorder: ring buffers, root-sink capture, dumps, debounce."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import flight, metrics
+from repro.obs.context import RequestContext
+from repro.obs.flight import FlightRecorder, flight_event, get_flight_recorder
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+from .conftest import FakeClock
+
+
+@pytest.fixture
+def recorder(tmp_path, fake_clock):
+    """A small recorder installed as the process sink; restored after."""
+    rec = FlightRecorder(
+        span_capacity=4,
+        event_capacity=4,
+        clock=fake_clock,
+        out_dir=tmp_path,
+        debounce_seconds=10.0,
+    )
+    prev = flight.set_flight_recorder(rec)
+    yield rec
+    flight.set_flight_recorder(prev)
+
+
+def _root(name: str, t0: float = 0.0, t1: float = 1.0) -> Span:
+    sp = Span(name, t0, None)
+    sp.t_end = t1
+    return sp
+
+
+class TestRings:
+    def test_span_ring_keeps_the_newest(self, recorder):
+        for i in range(6):
+            recorder.record_span(_root(f"s{i}"))
+        assert [sp.name for sp in recorder.spans] == ["s2", "s3", "s4", "s5"]
+
+    def test_event_ring_keeps_the_newest(self, recorder):
+        for i in range(6):
+            recorder.event("e", i=i)
+        assert [e["attrs"]["i"] for e in recorder.events] == [2, 3, 4, 5]
+
+    def test_events_are_clock_stamped(self, recorder):
+        recorder.event("first")
+        recorder.event("second")
+        ts = [e["t"] for e in recorder.events]
+        assert ts == sorted(ts) and ts[0] < ts[1]
+
+    def test_clear_empties_everything(self, recorder):
+        recorder.record_span(_root("s"))
+        recorder.event("e")
+        recorder.clear()
+        assert recorder.spans == [] and recorder.events == []
+
+
+class TestRootSinkCapture:
+    def test_tracer_roots_land_in_the_ring(self, recorder, fake_clock):
+        tr = Tracer(clock=fake_clock)
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        assert [sp.name for sp in recorder.spans] == ["outer"]
+        # The whole tree is retained, not just the root.
+        assert [c.name for c in recorder.spans[0].children] == ["inner"]
+
+    def test_request_trees_land_via_add_root(self, recorder, fake_clock):
+        tr = Tracer(clock=fake_clock)
+        ctx = RequestContext("req-000001", 0.0)
+        ctx.finish(1.0, tracer=tr)
+        assert [sp.name for sp in recorder.spans] == ["request"]
+
+    def test_open_roots_added_explicitly_are_not_recorded(self, recorder, fake_clock):
+        tr = Tracer(clock=fake_clock)
+        tr.add_root(Span("open", 0.0, None))  # t_end is None
+        assert recorder.spans == []
+
+    def test_flight_event_is_gate_guarded(self, recorder):
+        flight_event("hidden", x=1)
+        assert recorder.events == []
+        with obs.enabled():
+            flight_event("visible", x=2)
+        assert [e["name"] for e in recorder.events] == ["visible"]
+
+    def test_obs_reset_clears_the_process_recorder(self):
+        rec = get_flight_recorder()
+        rec.event("stale")
+        obs.reset()
+        assert rec.events == []
+
+
+class TestCounterDeltas:
+    def test_deltas_only_show_movement(self, recorder):
+        reg = MetricsRegistry()
+        reg.counter("a").add(3)
+        reg.counter("b").add(1)
+        assert recorder.counter_deltas(reg) == {"a": 3.0, "b": 1.0}
+        recorder.dump("d", registry=reg)  # rebases
+        reg.counter("a").add(2)
+        assert recorder.counter_deltas(reg) == {"a": 2.0}
+
+
+class TestDump:
+    def test_dump_writes_a_complete_bundle(self, recorder, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("serve.shed").add(4)
+        reg.histogram("lat").record(0.5)
+        reg.histogram("lat").record_exemplar(0.5, "req-000001")
+        recorder.record_span(_root("request"))
+        recorder.event("cluster.hedge_fired", shard=1)
+        path = recorder.dump("unit", reason="because", registry=reg)
+        assert path == tmp_path / "OBS_flightdump_unit_001.json"
+        doc = json.loads(path.read_text())
+        assert doc["kind"] == "flightdump"
+        assert doc["reason"] == "because"
+        assert doc["dump_index"] == 1
+        assert [s["name"] for s in doc["spans"]] == ["request"]
+        assert [e["name"] for e in doc["events"]] == ["cluster.hedge_fired"]
+        assert doc["counter_deltas"] == {"serve.shed": 4.0}
+        assert doc["exemplars"]["lat"][0]["request_id"] == "req-000001"
+        assert "python" in json.dumps(doc["env"]).lower() or doc["env"]
+
+    def test_dump_indices_increment(self, recorder):
+        reg = MetricsRegistry()
+        p1 = recorder.dump("seq", registry=reg)
+        p2 = recorder.dump("seq", registry=reg)
+        assert p1.name.endswith("_001.json")
+        assert p2.name.endswith("_002.json")
+
+    def test_maybe_dump_debounces(self, recorder):
+        reg = MetricsRegistry()
+        clock = recorder.clock
+        assert recorder.maybe_dump("auto", registry=reg) is not None
+        # FakeClock steps 1s per read; the 10s debounce suppresses this.
+        assert recorder.maybe_dump("auto", registry=reg) is None
+        clock.t += 20.0
+        assert recorder.maybe_dump("auto", registry=reg) is not None
+
+
+class TestBreachTriggeredDump:
+    def test_slo_breach_auto_dumps_debounced(self, recorder):
+        from repro.obs.slo import SLOContext, SLORule, evaluate
+
+        reg = MetricsRegistry()
+        reg.histogram("lat").extend([1.0] * 10)  # p99 = 1.0 >> 0.001
+        rule = SLORule(
+            name="impossible",
+            kind="histogram_p99",
+            params={"metric": "lat", "threshold": 0.001},
+        )
+        ctx = SLOContext(registry=reg)
+        results = evaluate([rule], ctx)
+        assert not results[0].ok
+        assert recorder.dump_count == 1
+        dumps = list(recorder.out_dir.glob("OBS_flightdump_slo_breach_*.json"))
+        assert len(dumps) == 1
+        doc = json.loads(dumps[0].read_text())
+        assert "impossible" in doc["reason"]
+        assert reg.counters["slo.flight_dumps"].value == 1.0
+        # A second breached evaluation inside the debounce window does
+        # not produce a second bundle.
+        evaluate([rule], ctx)
+        assert recorder.dump_count == 1
+
+    def test_passing_rules_never_dump(self, recorder):
+        from repro.obs.slo import SLOContext, SLORule, evaluate
+
+        reg = MetricsRegistry()
+        reg.histogram("lat").extend([0.001] * 10)
+        rule = SLORule(
+            name="fine",
+            kind="histogram_p99",
+            params={"metric": "lat", "threshold": 1.0},
+        )
+        results = evaluate([rule], SLOContext(registry=reg))
+        assert results[0].ok
+        assert recorder.dump_count == 0
+
+
+class TestDisabledPath:
+    def test_disabled_replay_records_nothing(self, recorder):
+        import numpy as np
+
+        from repro.serving.server import EmbeddingServer, ServerConfig
+        from repro.serving.workload import zipf_trace
+
+        rng = np.random.default_rng(0)
+        server = EmbeddingServer(
+            rng.standard_normal((128, 8)),
+            config=ServerConfig(max_batch=8),
+            service_model=lambda b, rows: 0.001,
+        )
+        trace = zipf_trace(30, 128, skew=1.1, rate=1000.0, k=5, rng=rng)
+        server.serve_trace(trace)  # gate off
+        assert recorder.spans == []
+        assert recorder.events == []

@@ -51,6 +51,84 @@ class TestHistogram:
         assert len(hist) == 0
 
 
+class TestExemplarReservoir:
+    def test_everything_admitted_during_warmup(self):
+        hist = Histogram()
+        for i in range(metrics._EXEMPLAR_WARMUP - 1):
+            hist.record(float(i))
+            assert hist.record_exemplar(float(i), f"req-{i:06d}")
+        assert len(hist.exemplars) == metrics._EXEMPLAR_WARMUP - 1
+
+    def test_warm_reservoir_rejects_below_trailing_p95(self):
+        hist = Histogram()
+        hist.extend([1.0] * 100)
+        assert not hist.record_exemplar(0.5, "req-000001")
+        assert hist.record_exemplar(2.0, "req-000002")
+        assert [e.request_id for e in hist.exemplars] == ["req-000002"]
+
+    def test_full_reservoir_evicts_the_minimum(self):
+        hist = Histogram()
+        # Keep the histogram cold so admission is unconditional and the
+        # eviction policy is isolated.
+        for i in range(metrics.EXEMPLAR_CAPACITY):
+            hist.record_exemplar(float(i), f"req-{i:06d}")
+        assert hist.record_exemplar(100.0, "req-big")
+        values = [e.value for e in hist.exemplars]
+        assert len(values) == metrics.EXEMPLAR_CAPACITY
+        assert 0.0 not in values  # the smallest made room
+        assert values[0] == 100.0  # property sorts largest first
+        # A candidate smaller than the current minimum is dropped.
+        assert not hist.record_exemplar(0.5, "req-small")
+
+    def test_top_values_always_survive(self, rng):
+        """Every above-p99 sample of a bench-scale stream stays resolvable."""
+        hist = Histogram()
+        samples = rng.exponential(scale=0.01, size=2000)
+        for i, v in enumerate(samples):
+            hist.record(float(v))
+            hist.record_exemplar(float(v), f"req-{i:06d}")
+        import numpy as np
+
+        p99 = float(np.percentile(samples, 99))
+        retained = {e.request_id for e in hist.exemplars}
+        expected = {
+            f"req-{i:06d}" for i, v in enumerate(samples) if v > p99
+        }
+        assert expected <= retained
+
+    def test_exemplar_as_dict(self):
+        e = metrics.Exemplar(0.5, "req-000001", "trace.json")
+        assert e.as_dict() == {
+            "value": 0.5,
+            "request_id": "req-000001",
+            "span_ref": "trace.json",
+        }
+
+    def test_reset_clears_exemplars(self):
+        hist = Histogram()
+        hist.record_exemplar(1.0, "req-000001")
+        hist.reset()
+        assert hist.exemplars == ()
+
+    def test_registry_exemplar_snapshot_skips_empty(self):
+        reg = MetricsRegistry()
+        reg.histogram("with").record_exemplar(1.0, "req-000001")
+        reg.histogram("without").record(1.0)
+        snap = reg.exemplar_snapshot()
+        assert list(snap) == ["with"]
+        assert snap["with"][0]["request_id"] == "req-000001"
+
+    def test_guarded_observe_records_exemplar_only_when_enabled(self):
+        metrics.observe("lat", 1.0, request_id="req-000001")
+        assert metrics.get_registry().histograms.get("lat") is None
+        with obs.enabled():
+            metrics.observe("lat", 1.0, request_id="req-000001")
+            metrics.observe("lat", 2.0)  # no request id: sample only
+        hist = metrics.get_registry().histograms["lat"]
+        assert hist.count == 2
+        assert [e.request_id for e in hist.exemplars] == ["req-000001"]
+
+
 class TestCounterGauge:
     def test_counter(self):
         c = Counter()

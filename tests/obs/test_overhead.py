@@ -53,6 +53,95 @@ class TestDisabledPath:
         assert obs.get_tracer().roots == []
         assert metrics.snapshot()["counters"] == {}
 
+    def test_disabled_tail_debug_entry_points_allocate_nothing(self):
+        """The request-tracing / flight-recorder additions keep the
+        disabled hot path allocation-free: flight_event and the
+        exemplar-carrying observe() are gate-guarded like span()/inc()."""
+        from repro.obs.flight import flight_event
+
+        tracemalloc.start()
+        try:
+            for _ in range(64):  # warm caches / interned names
+                flight_event("probe", x=1)
+                metrics.observe("probe", 1.0, request_id="req-000001")
+            gc.collect()
+            before, _ = tracemalloc.get_traced_memory()
+            for _ in range(4096):
+                flight_event("probe", x=1)
+                metrics.observe("probe", 1.0, request_id="req-000001")
+            gc.collect()
+            after, _ = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert after - before < 1024  # noise floor, not O(calls)
+
+
+class TestEnabledRecorderBudget:
+    def test_enabled_serve_overhead_under_five_percent(self):
+        """Request tracing + exemplars + the always-on flight recorder
+        cost ≤5% on the serve hot path at a paper-realistic index size
+        (~64k vertices, the PPI scale).
+
+        Same structure as the trainer bound below, because a direct
+        enabled-vs-disabled wall-clock A/B is dominated by scheduler and
+        BLAS noise on shared runners: measure (a) the obs-disabled
+        replay wall time and (b) the per-request cost of everything the
+        enabled path adds — a RequestContext tree (id, queue + service
+        children, finish through the tracer into the flight recorder's
+        root sink) plus the latency sample and its exemplar offer — then
+        assert the per-request cost across every served request stays
+        under 5% of the replay.
+        """
+        import numpy as np
+
+        from repro.obs import context as obs_context
+        from repro.serving.server import EmbeddingServer, ServerConfig
+        from repro.serving.workload import zipf_trace
+
+        rows, queries = 65536, 400
+        rng = np.random.default_rng(0)
+        emb = rng.standard_normal((rows, 64)).astype(np.float32)
+        trace = zipf_trace(queries, rows, skew=1.1, rate=5000.0, k=10)
+        obs.reset()
+        server = EmbeddingServer(emb, config=ServerConfig(max_batch=32))
+
+        def replay_once() -> float:
+            t0 = time.perf_counter()
+            server.serve_trace(trace)
+            return time.perf_counter() - t0
+
+        disabled = min(replay_once() for _ in range(3))
+
+        reps = 2000
+
+        def instrumentation_once() -> float:
+            obs.reset()
+            hist = metrics.get_registry().histogram("serve.latency_seconds")
+            t0 = time.perf_counter()
+            for i in range(reps):
+                ctx = obs_context.RequestContext(
+                    obs_context.new_request_id("t1.req"), 0.0, qid=i, k=10
+                )
+                ctx.child("serve.queue", 0.0, t_end=0.001)
+                ctx.child(
+                    "serve.service", 0.001, t_end=0.002, size=32, rows=rows
+                )
+                ctx.finish(0.002)
+                hist.record(0.002)
+                hist.record_exemplar(0.002, ctx.request_id)
+            return (time.perf_counter() - t0) / reps
+
+        with obs.enabled():
+            per_request = min(instrumentation_once() for _ in range(3))
+        obs.reset()
+
+        overhead = queries * per_request / disabled
+        assert overhead < 0.05, (
+            f"enabled-recorder overhead {overhead * 100:.2f}% "
+            f"({per_request * 1e6:.2f}us/request x {queries} requests vs "
+            f"disabled replay {disabled * 1e3:.1f}ms)"
+        )
+
 
 class TestTrainerOverhead:
     def test_disabled_overhead_under_two_percent(self, ppi_small):

@@ -52,6 +52,35 @@ class TestNesting:
         assert leaked.t_end is not None  # closed at the same instant
         assert leaked.t_end == outer.t_end
 
+    def test_out_of_order_exit_marks_leaked_spans(self, fake_clock):
+        tr = Tracer(clock=fake_clock)
+        outer = tr.span("outer")
+        a = tr.span("leaked-a")
+        b = tr.span("leaked-b")
+        outer.__exit__(None, None, None)
+        assert a.attrs.get("leaked") is True
+        assert b.attrs.get("leaked") is True
+        assert "leaked" not in outer.attrs  # the finished span is clean
+
+    def test_leak_counter_incremented_when_enabled(self, fake_clock):
+        from repro.obs import metrics
+
+        with obs.enabled():
+            tr = Tracer(clock=fake_clock)
+            outer = tr.span("outer")
+            tr.span("leaked")
+            outer.__exit__(None, None, None)
+            assert metrics.snapshot()["counters"]["obs.spans.leaked"] == 1.0
+
+    def test_leak_counter_silent_when_disabled(self, fake_clock):
+        from repro.obs import metrics
+
+        tr = Tracer(clock=fake_clock)
+        outer = tr.span("outer")
+        tr.span("leaked")
+        outer.__exit__(None, None, None)
+        assert metrics.snapshot()["counters"] == {}
+
     def test_exception_recorded_and_reraised(self, fake_clock):
         tr = Tracer(clock=fake_clock)
         with pytest.raises(ValueError):
@@ -153,6 +182,91 @@ class TestGlobalApi:
                 pass
         obs.reset()
         assert obs.get_tracer().roots == []
+
+
+class TestThreadSafety:
+    def test_worker_spans_never_parent_under_another_thread(self, fake_clock):
+        """Regression: with a shared stack, spans opened by a prefetch
+        worker attached under whatever span the consumer had open
+        (``trainer.iteration`` gaining ``sampler.*`` children it never
+        ran). The stack is thread-local now."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        tr = Tracer(clock=fake_clock)
+
+        def produce(i):
+            with tr.span(f"sampler.sample.{i}"):
+                pass
+
+        with tr.span("trainer.iteration") as it:
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                list(pool.map(produce, range(8)))
+        assert it.children == []
+        root_names = {r.name for r in tr.roots}
+        assert "trainer.iteration" in root_names
+        # Every producer span became its own root on its own thread.
+        assert {f"sampler.sample.{i}" for i in range(8)} <= root_names
+        for r in tr.roots:
+            if r.name.startswith("sampler."):
+                assert r.tid is not None and r.tid != it.tid
+
+    def test_pipeline_prefetch_never_nests_under_iteration(self, ppi_small):
+        """End-to-end: a thread-pool prefetcher samples while the trainer
+        iterates; no producer span may appear inside trainer.iteration."""
+        from repro.obs.trace import walk as walk_spans
+        from repro.train.config import TrainConfig
+        from repro.train.trainer import GraphSamplingTrainer
+
+        config = TrainConfig(
+            hidden_dims=(16, 16),
+            epochs=1,
+            seed=0,
+            prefetch_depth=2,
+            prefetch_workers=1,
+        )
+        with obs.enabled():
+            obs.reset()
+            with GraphSamplingTrainer(ppi_small, config) as trainer:
+                trainer.train()
+            roots = obs.get_tracer().roots
+        iterations = [
+            sp
+            for r in roots
+            for sp in walk_spans(r)
+            if sp.name == "trainer.iteration"
+        ]
+        assert iterations
+        producer_names = ("sampler.dashboard", "sampler.frontier")
+        for it in iterations:
+            for sp in walk_spans(it):
+                assert sp.name not in producer_names, (
+                    f"producer span {sp.name} nested under trainer.iteration"
+                )
+        # The producers did run — their spans exist as their own roots.
+        assert any(
+            sp.name in producer_names for r in roots for sp in walk_spans(r)
+        )
+
+    def test_concurrent_roots_all_recorded(self, fake_clock):
+        import threading
+
+        tr = Tracer(clock=fake_clock)
+        n_threads, per_thread = 8, 50
+
+        def worker(t):
+            for i in range(per_thread):
+                with tr.span(f"w{t}.{i}"):
+                    pass
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(n_threads)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert len(tr.roots) == n_threads * per_thread
 
 
 class TestAggregate:
